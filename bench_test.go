@@ -1,0 +1,133 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper via the internal/bench harness — one testing.B benchmark per
+// artifact. Wall-clock ns/op measures the simulator itself; the scientific
+// result is the virtual-time metrics each benchmark reports (sim-seconds,
+// ratios), which mirror the paper's reported numbers in shape.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks default to shrunken stand-ins so a full pass stays tractable;
+// use cmd/dspbench for full benchmark-scale tables.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchCfg is the scale used by the testing.B harness.
+var benchCfg = bench.RunConfig{Shrink: 8, Warmup: 0, Measure: 1}
+
+func runExperiment(b *testing.B, fn func(bench.RunConfig) (*bench.Table, error)) *bench.Table {
+	b.Helper()
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := fn(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	return last
+}
+
+// BenchmarkTable1Bandwidth validates the Table 1 fabric model.
+func BenchmarkTable1Bandwidth(b *testing.B) {
+	t := runExperiment(b, bench.Table1)
+	b.ReportMetric(t.Get("NVLink", "8-GPU"), "NVLink-8GPU-GBps")
+	b.ReportMetric(t.Get("PCIe", "8-GPU"), "PCIe-8GPU-GBps")
+}
+
+// BenchmarkFig1CommVolume measures sampling communication volume ratios.
+func BenchmarkFig1CommVolume(b *testing.B) {
+	t := runExperiment(b, bench.Fig1)
+	b.ReportMetric(t.Get("UVA", "papers"), "UVA-over-ideal-x")
+	b.ReportMetric(t.Get("CSP", "papers"), "CSP-over-ideal-x")
+}
+
+// BenchmarkFig2KernelScaling sweeps kernel thread allocations.
+func BenchmarkFig2KernelScaling(b *testing.B) {
+	t := runExperiment(b, bench.Fig2)
+	b.ReportMetric(t.Get("sampling", "5120")/t.Get("sampling", "256"), "plateau-ratio")
+}
+
+// BenchmarkTable4EpochTime runs the headline GraphSAGE comparison.
+func BenchmarkTable4EpochTime(b *testing.B) {
+	t := runExperiment(b, bench.Table4)
+	b.ReportMetric(t.Get("DGL-UVA", "papers/8")/t.Get("DSP", "papers/8"), "DSP-speedup-papers8-x")
+	b.ReportMetric(t.Get("PyG", "friendster/8")/t.Get("DSP", "friendster/8"), "DSP-speedup-vs-PyG-x")
+}
+
+// BenchmarkTable5GCN runs the GCN comparison at 8 GPUs.
+func BenchmarkTable5GCN(b *testing.B) {
+	t := runExperiment(b, bench.Table5)
+	b.ReportMetric(t.Get("DGL-UVA", "papers/8")/t.Get("DSP", "papers/8"), "DSP-speedup-papers8-x")
+}
+
+// BenchmarkTable6Sampling measures sampling-only epochs.
+func BenchmarkTable6Sampling(b *testing.B) {
+	t := runExperiment(b, bench.Table6)
+	b.ReportMetric(t.Get("DGL-UVA", "papers/8")/t.Get("DSP", "papers/8"), "CSP-vs-UVA-x")
+	b.ReportMetric(t.Get("DGL-CPU", "papers/8")/t.Get("DSP", "papers/8"), "CSP-vs-CPU-x")
+}
+
+// BenchmarkTable7LayerWise compares layer-wise sampling with FastGCN.
+func BenchmarkTable7LayerWise(b *testing.B) {
+	t := runExperiment(b, bench.Table7)
+	b.ReportMetric(t.Get("FastGCN", "papers")/t.Get("DSP", "papers"), "DSP-vs-FastGCN-x")
+}
+
+// BenchmarkFig6Utilization measures pipeline vs sequential utilization.
+func BenchmarkFig6Utilization(b *testing.B) {
+	t := runExperiment(b, bench.Fig6)
+	b.ReportMetric(t.Get("DSP", "papers/8"), "pipeline-util-pct")
+	b.ReportMetric(t.Get("DSP-Seq", "papers/8"), "seq-util-pct")
+}
+
+// BenchmarkFig9TrainingQuality trains for real and reports final accuracy.
+func BenchmarkFig9TrainingQuality(b *testing.B) {
+	t := runExperiment(b, bench.Fig9)
+	last := t.Cols[len(t.Cols)-1]
+	b.ReportMetric(t.Get("DSP/acc", last), "final-val-acc")
+	b.ReportMetric(t.Get("DGL-UVA/time", last)/t.Get("DSP/time", last), "time-to-acc-speedup-x")
+}
+
+// BenchmarkFig10CacheSplit sweeps the topology/feature cache split.
+func BenchmarkFig10CacheSplit(b *testing.B) {
+	t := runExperiment(b, bench.Fig10)
+	b.ReportMetric(t.Get("papers", t.Cols[0])/t.Get("papers", t.Cols[2]), "left-flank-x")
+	b.ReportMetric(t.Get("papers/sampling", t.Cols[len(t.Cols)-1])/t.Get("papers/sampling", t.Cols[0]), "spill-sampling-x")
+}
+
+// BenchmarkFig11TaskPush compares CSP against the data-pull alternative.
+func BenchmarkFig11TaskPush(b *testing.B) {
+	t := runExperiment(b, bench.Fig11)
+	b.ReportMetric(t.Get("PullData", "friendster")/t.Get("CSP", "friendster"), "push-vs-pull-x")
+}
+
+// BenchmarkFig12PipelineSpeedup measures DSP over DSP-Seq.
+func BenchmarkFig12PipelineSpeedup(b *testing.B) {
+	t := runExperiment(b, bench.Fig12)
+	b.ReportMetric(t.Get("papers", "8-GPU"), "speedup-8GPU-x")
+}
+
+// BenchmarkAblationLayout compares METIS vs hash partitioning.
+func BenchmarkAblationLayout(b *testing.B) {
+	t := runExperiment(b, bench.AblationPartition)
+	b.ReportMetric(t.Get("hash/sample-MB", "papers")/t.Get("metis/sample-MB", "papers"), "metis-traffic-cut-x")
+}
+
+// BenchmarkAblationQueueCap sweeps pipeline queue capacities.
+func BenchmarkAblationQueueCap(b *testing.B) {
+	t := runExperiment(b, bench.AblationQueueCap)
+	b.ReportMetric(t.Get("papers", "cap=1")/t.Get("papers", "cap=2"), "cap2-over-cap1-x")
+}
+
+// BenchmarkAblationCache compares partitioned vs replicated caching.
+func BenchmarkAblationCache(b *testing.B) {
+	t := runExperiment(b, bench.AblationReplicatedCache)
+	b.ReportMetric(t.Get("replicated/uva-MB", "papers")/(t.Get("partitioned/uva-MB", "papers")+1e-9), "uva-traffic-ratio-x")
+}

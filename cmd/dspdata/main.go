@@ -1,0 +1,72 @@
+// Command dspdata generates, partitions and stores datasets on disk — the
+// equivalent of the paper artifact's preprocessing step ("partition.sh
+// products 4 ... The partitioned graph is stored under /data/ds/"). The
+// saved .dspd file carries the layout-ordered graph, features, labels,
+// per-GPU seed shards and the memory-scaling metadata, and can be loaded by
+// dsptrain via -data.
+//
+// Usage:
+//
+//	dspdata -dataset papers -gpus 8 -out papers-8.dspd
+//	dspdata -inspect papers-8.dspd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graphio"
+	"repro/internal/train"
+)
+
+func main() {
+	var (
+		dsName  = flag.String("dataset", "products", "dataset: products, papers, friendster")
+		gpus    = flag.Int("gpus", 4, "number of patches (1-8)")
+		shrink  = flag.Int("shrink", 4, "dataset shrink divisor")
+		out     = flag.String("out", "", "output path (default <dataset>-<gpus>.dspd)")
+		hash    = flag.Bool("hash", false, "hash partitioning instead of METIS")
+		inspect = flag.String("inspect", "", "print a stored file's summary and exit")
+		seed    = flag.Uint64("seed", 13, "partitioner seed")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		td, err := graphio.LoadFile(*inspect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspdata: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d nodes, %d adjacency entries, dim %d, %d classes\n",
+			td.Name, td.G.NumNodes(), td.G.NumEdges(), td.FeatDim, td.NumClasses)
+		fmt.Printf("patches: %d, scale factor %.0fx, GPU mem %.1f MB, bench batch %d\n",
+			td.NumGPUs(), td.ScaleFactor, float64(td.GPUMemBytes)/(1<<20), td.BenchBatch)
+		for g, s := range td.Shards {
+			lo, hi := td.Offsets[g], td.Offsets[g+1]
+			fmt.Printf("  patch %d: nodes [%d,%d), %d seeds\n", g, lo, hi, len(s))
+		}
+		return
+	}
+
+	std := gen.StandardDataset(*dsName, *shrink)
+	fmt.Printf("generating %s (%d nodes)...\n", std.Config.Name, std.Config.Nodes)
+	d := gen.Generate(std.Config)
+	fmt.Printf("partitioning into %d patches (metis=%v)...\n", *gpus, !*hash)
+	td := train.Prepare(d, *gpus, *seed, !*hash)
+	td.ScaleFactor = std.ScaleFactor
+	td.GPUMemBytes = std.GPUMemBytes()
+	td.BenchBatch = std.BenchBatch
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%d.dspd", *dsName, *gpus)
+	}
+	if err := graphio.SaveFile(path, td); err != nil {
+		fmt.Fprintf(os.Stderr, "dspdata: %v\n", err)
+		os.Exit(1)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("wrote %s (%.1f MB)\n", path, float64(info.Size())/(1<<20))
+}

@@ -1,0 +1,184 @@
+// Command dsptrain trains a GNN end to end with DSP on the simulated
+// multi-GPU machine and reports per-epoch progress: virtual epoch time,
+// training accuracy and validation accuracy.
+//
+// Usage:
+//
+//	dsptrain -dataset products -gpus 4 -epochs 5
+//	dsptrain -dataset papers -gpus 8 -arch gcn -shrink 8
+//	dsptrain -system dgl-uva -dataset products -gpus 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graphio"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/trace"
+	"repro/internal/train"
+)
+
+func main() {
+	var (
+		dsName  = flag.String("dataset", "products", "dataset: products, papers, friendster")
+		gpus    = flag.Int("gpus", 4, "simulated GPU count (1-8)")
+		epochs  = flag.Int("epochs", 5, "training epochs")
+		archStr = flag.String("arch", "sage", "model: sage or gcn")
+		hidden  = flag.Int("hidden", 64, "hidden units (paper uses 256; smaller is faster on the host)")
+		batch   = flag.Int("batch", 512, "batch size")
+		shrink  = flag.Int("shrink", 4, "dataset shrink divisor")
+		sysName = flag.String("system", "dsp", "system: dsp, dsp-seq, pyg, dgl-cpu, dgl-uva, quiver")
+		seed    = flag.Uint64("seed", 1, "run seed")
+		traceTo = flag.String("trace", "", "write a Chrome trace of the run to this file")
+		dataIn  = flag.String("data", "", "load a prepared .dspd dataset (from dspdata) instead of generating")
+		saveTo  = flag.String("save", "", "write the trained model checkpoint to this file")
+		loadFm  = flag.String("load", "", "initialise the model from a checkpoint before training")
+	)
+	flag.Parse()
+
+	var td *train.Data
+	if *dataIn != "" {
+		var err error
+		td, err = graphio.LoadFile(*dataIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+			os.Exit(1)
+		}
+		*gpus = td.NumGPUs()
+		fmt.Printf("loaded %s: %d nodes, %d patches\n", *dataIn, td.G.NumNodes(), *gpus)
+	} else {
+		std := gen.StandardDataset(*dsName, *shrink)
+		fmt.Printf("generating %s (%d nodes, scale factor %.0fx)...\n",
+			std.Config.Name, std.Config.Nodes, std.ScaleFactor)
+		d := gen.Generate(std.Config)
+		fmt.Printf("partitioning into %d patches...\n", *gpus)
+		td = train.Prepare(d, *gpus, 13, true)
+		td.ScaleFactor = std.ScaleFactor
+		td.GPUMemBytes = std.GPUMemBytes()
+	}
+
+	arch := nn.SAGE
+	if strings.EqualFold(*archStr, "gcn") {
+		arch = nn.GCN
+	}
+	opts := train.Options{
+		Data:        td,
+		Model:       nn.Config{Arch: arch, InDim: td.FeatDim, Hidden: *hidden, Classes: td.NumClasses, Layers: 3},
+		Sample:      sample.Config{Fanout: []int{10, 10, 5}},
+		BatchSize:   *batch,
+		RealCompute: true,
+		Pipeline:    true,
+		UseCCC:      true,
+		LR:          0.003,
+		Seed:        *seed,
+	}
+
+	var sys train.System
+	var err error
+	switch strings.ToLower(*sysName) {
+	case "dsp":
+		sys, err = core.New(opts)
+	case "dsp-seq":
+		opts.Pipeline = false
+		sys, err = core.New(opts)
+	case "pyg":
+		sys, err = baselines.New(baselines.PyG, opts)
+	case "dgl-cpu":
+		sys, err = baselines.New(baselines.DGLCPU, opts)
+	case "dgl-uva":
+		sys, err = baselines.New(baselines.DGLUVA, opts)
+	case "quiver":
+		sys, err = baselines.New(baselines.Quiver, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "dsptrain: unknown system %q\n", *sysName)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+		os.Exit(1)
+	}
+
+	var tracer *trace.Tracer
+	if *traceTo != "" {
+		tracer = trace.New()
+		sys.Machine().SetTracer(tracer)
+	}
+	if *loadFm != "" {
+		ck, err := nn.LoadFile(*loadFm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+			os.Exit(1)
+		}
+		if ck.Cfg != opts.Model {
+			fmt.Fprintf(os.Stderr, "dsptrain: checkpoint config %+v does not match model %+v\n", ck.Cfg, opts.Model)
+			os.Exit(1)
+		}
+		// Every replica starts from the checkpoint (BSP keeps them equal).
+		buf := make([]float32, ck.ParamCount())
+		ck.ParamVector(buf)
+		for _, m := range trainerModels(sys) {
+			i := 0
+			for _, p := range m.Params {
+				copy(p.W.Data, buf[i:i+len(p.W.Data)])
+				i += len(p.W.Data)
+			}
+		}
+		fmt.Printf("loaded checkpoint %s\n", *loadFm)
+	}
+
+	fmt.Printf("training %s with %s on %d simulated GPUs\n", opts.Model.Arch, sys.Name(), *gpus)
+	fmt.Println("epoch  sim-time(s)  train-acc  val-acc   sample-MB  feature-MB")
+	var cum float64
+	for e := 0; e < *epochs; e++ {
+		st, err := sys.RunEpoch(e)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsptrain: epoch %d: %v\n", e, err)
+			os.Exit(1)
+		}
+		cum += float64(st.EpochTime)
+		valAcc := train.Evaluate(td, sys.Model(), opts.Sample, 2000, 99)
+		fmt.Printf("%5d  %11.4g  %9.3f  %7.3f  %9.1f  %10.1f\n",
+			e, cum, st.Acc(), valAcc,
+			float64(st.SampleWire)/(1<<20), float64(st.FeatureWire)/(1<<20))
+	}
+	if *saveTo != "" {
+		if err := sys.Model().SaveFile(*saveTo); err != nil {
+			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved model checkpoint to %s\n", *saveTo)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d trace spans to %s (open in chrome://tracing)\n", tracer.Len(), *traceTo)
+	}
+}
+
+// trainerModels returns every model replica of a system so a checkpoint can
+// be broadcast into all of them.
+func trainerModels(sys train.System) []*nn.Model {
+	type replicaHolder interface{ Replicas() []*nn.Model }
+	if h, ok := sys.(replicaHolder); ok {
+		return h.Replicas()
+	}
+	if m := sys.Model(); m != nil {
+		return []*nn.Model{m}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Multi-machine DSP (paper §3.2): scale the papers workload from one to
+// four simulated 4-GPU machines. Topology and hot features replicate per
+// machine; cold features partition across machines; machines communicate
+// only cold feature rows and gradients.
+//
+//	go run ./examples/multimachine
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dsp"
+)
+
+func main() {
+	data := dsp.StandardData("papers", 4, 8)
+	fmt.Printf("papers stand-in: %d nodes on 4 GPUs per machine\n\n", data.G.NumNodes())
+
+	opts := dsp.Options{
+		Data:      data,
+		Model:     dsp.ModelConfig{Arch: dsp.GraphSAGE, InDim: data.FeatDim, Hidden: 256, Classes: data.NumClasses, Layers: 3},
+		Sample:    dsp.SampleConfig{Fanout: []int{15, 10, 5}},
+		BatchSize: 64,
+		Pipeline:  true,
+		UseCCC:    true,
+		Seed:      21,
+	}
+
+	fmt.Println("machines  GPUs  epoch(ms)  speedup  NIC-MB (cold feats + grads)")
+	var base float64
+	for _, machines := range []int{1, 2, 4} {
+		sys, err := dsp.NewMulti(opts, machines, dsp.InfiniBandEDR())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.RunEpoch(0); err != nil { // warm-up
+			log.Fatal(err)
+		}
+		st, err := sys.RunEpoch(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		epoch := float64(st.EpochTime)
+		if machines == 1 {
+			base = epoch
+		}
+		fmt.Printf("%8d  %4d  %9.3f  %6.2fx  %8.1f\n",
+			machines, machines*4, 1e3*epoch, base/epoch, float64(st.InterWire)/(1<<20))
+	}
+	fmt.Println("\nEach machine consumes a stride of the seeds, so epoch time drops near-")
+	fmt.Println("linearly; only cold-feature rows and gradient ring chunks cross the NICs.")
+}

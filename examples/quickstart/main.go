@@ -1,0 +1,59 @@
+// Quickstart: train a GraphSAGE model with DSP on four simulated GPUs and
+// watch it learn. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dsp"
+)
+
+func main() {
+	// A small synthetic community graph: labels are community ids and
+	// features are noisy class centroids, so the task is genuinely
+	// learnable.
+	ds := dsp.Generate(dsp.DatasetConfig{
+		Name:       "quickstart",
+		Nodes:      8000,
+		AvgDegree:  14,
+		FeatDim:    32,
+		NumClasses: 8,
+		Seed:       1,
+	})
+
+	// Partition the graph into four patches (METIS-style), renumber so each
+	// GPU owns a consecutive id range, and co-partition the training seeds.
+	data := dsp.Prepare(ds, 4, 1)
+
+	// Build the DSP system: partitioned topology + partitioned feature
+	// cache, collective sampling, pipelined sampler/loader/trainer workers
+	// under centralized communication coordination.
+	sys, err := dsp.New(dsp.Options{
+		Data:        data,
+		Model:       dsp.ModelConfig{Arch: dsp.GraphSAGE, InDim: 32, Hidden: 32, Classes: 8, Layers: 2},
+		Sample:      dsp.SampleConfig{Fanout: []int{10, 5}},
+		BatchSize:   256,
+		RealCompute: true,
+		Pipeline:    true,
+		UseCCC:      true,
+		LR:          0.01,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("epoch  sim-time(ms)  train-acc  val-acc")
+	for epoch := 0; epoch < 5; epoch++ {
+		st, err := sys.RunEpoch(epoch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		val := dsp.Evaluate(data, sys.Model(), sys.Opts.Sample, 800, 3)
+		fmt.Printf("%5d  %12.3f  %9.3f  %7.3f\n",
+			epoch, 1e3*float64(st.EpochTime), st.Acc(), val)
+	}
+}

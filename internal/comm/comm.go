@@ -1,0 +1,198 @@
+// Package comm implements NCCL-style collectives (all-to-all, allreduce,
+// allgather, broadcast) over the simulated NVLink fabric.
+//
+// A Communicator is shared by one group of peer workers (one per GPU) — DSP
+// creates one communicator per worker type (sampler, loader, trainer), just
+// as the real system creates one NCCL communicator per worker group. Within
+// a communicator all ranks must invoke the same collectives in the same
+// order; ordering ACROSS communicators on a GPU is the province of the
+// centralized communication coordination scheme (internal/pipeline).
+//
+// Collectives move real Go data between ranks (node ids, feature rows,
+// gradients) while charging virtual time for the wire transfers, following
+// the paper's protocol: each rank first notifies peers of the sizes they
+// will receive, then the payload moves via all-to-all over NVLink.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Gate is an optional launch arbiter for communication kernels. When set on
+// a communicator, every collective passes through Enter before touching its
+// peers and Exit when done — this is where the pipeline package's
+// centralized communication coordination (CCC) plugs in.
+type Gate interface {
+	Enter(p *sim.Proc, gpu int)
+	Exit(gpu int)
+}
+
+// Communicator coordinates one group of peer processes, one per GPU.
+type Communicator struct {
+	Machine *hw.Machine
+	N       int
+
+	barrier *sim.Barrier
+	slots   []any // per-rank posted payload for the in-flight collective
+	gate    Gate
+}
+
+// SetGate installs a communication-kernel launch gate (one per worker
+// group). Must be set before any collective runs.
+func (c *Communicator) SetGate(g Gate) { c.gate = g }
+
+// enter/exit bracket one collective with the gate, if any.
+func (c *Communicator) enter(p *sim.Proc, rank int) {
+	if c.gate != nil {
+		c.gate.Enter(p, rank)
+	}
+}
+
+func (c *Communicator) exit(rank int) {
+	if c.gate != nil {
+		c.gate.Exit(rank)
+	}
+}
+
+// New creates a communicator over all GPUs of the machine.
+func New(m *hw.Machine) *Communicator {
+	n := len(m.GPUs)
+	return &Communicator{
+		Machine: m,
+		N:       n,
+		barrier: m.Eng.NewBarrier(n),
+		slots:   make([]any, n),
+	}
+}
+
+// sizeHeaderBytes is the per-peer size-notification message preceding each
+// all-to-all (the "notify the amount of data" step in the paper).
+const sizeHeaderBytes = 8
+
+// AllToAll exchanges slices: rank r's out[q] is delivered as the return
+// value's [r] on rank q. elemBytes is the wire size of one element; class
+// tags the traffic for accounting. Must be called by all ranks.
+func AllToAll[T any](c *Communicator, p *sim.Proc, rank int, out [][]T, elemBytes int, class hw.TrafficClass) [][]T {
+	if len(out) != c.N {
+		panic(fmt.Sprintf("comm: rank %d posted %d buffers for %d ranks", rank, len(out), c.N))
+	}
+	if c.N == 1 {
+		return [][]T{out[0]}
+	}
+	c.enter(p, rank)
+	defer c.exit(rank)
+	// Post and synchronise so every rank's payload is visible.
+	c.slots[rank] = out
+	c.barrier.Arrive(p)
+	// Collect (data is valid now; timing is enforced below).
+	in := make([][]T, c.N)
+	for q := 0; q < c.N; q++ {
+		in[q] = c.slots[q].([][]T)[rank]
+	}
+	// Timed wire movement: size headers then payloads, charged to the
+	// sender in deterministic peer order.
+	dev := c.Machine.GPUs[rank]
+	for i := 1; i < c.N; i++ {
+		q := (rank + i) % c.N
+		dev.Transfer(p, c.Machine.Fabric, q, sizeHeaderBytes, hw.TrafficOther)
+		if n := int64(len(out[q])) * int64(elemBytes); n > 0 {
+			dev.Transfer(p, c.Machine.Fabric, q, n, class)
+		}
+	}
+	c.barrier.Arrive(p)
+	return in
+}
+
+// AllGather delivers every rank's slice to every rank, indexed by rank.
+func AllGather[T any](c *Communicator, p *sim.Proc, rank int, data []T, elemBytes int, class hw.TrafficClass) [][]T {
+	out := make([][]T, c.N)
+	for q := range out {
+		if q != rank {
+			out[q] = data
+		}
+	}
+	in := AllToAll(c, p, rank, out, elemBytes, class)
+	in[rank] = data
+	return in
+}
+
+// AllReduceSum sums float32 vectors across ranks in place, charging
+// ring-allreduce wire time (2(n-1) chunk steps around the ring). Every rank
+// computes the same bitwise result (summation in rank order), preserving the
+// BSP guarantee that all model replicas stay identical.
+func (c *Communicator) AllReduceSum(p *sim.Proc, rank int, data []float32, class hw.TrafficClass) {
+	c.AllReduceSumScaled(p, rank, data, class, 1)
+}
+
+// AllReduceSumScaled is AllReduceSum with the charged wire bytes divided by
+// wireDiv (>= 1). The benchmark harness scales the model-gradient volume by
+// the batch-size ratio of its scaled stand-ins so gradient traffic keeps
+// its paper-relative weight ("gradient communication is usually much
+// cheaper than graph sampling and feature loading").
+func (c *Communicator) AllReduceSumScaled(p *sim.Proc, rank int, data []float32, class hw.TrafficClass, wireDiv float64) {
+	if c.N == 1 {
+		return
+	}
+	if wireDiv < 1 {
+		wireDiv = 1
+	}
+	c.enter(p, rank)
+	defer c.exit(rank)
+	c.slots[rank] = data
+	c.barrier.Arrive(p)
+	// Deterministic, rank-order reduction into a fresh buffer.
+	sum := make([]float32, len(data))
+	for q := 0; q < c.N; q++ {
+		peer := c.slots[q].([]float32)
+		for i, v := range peer {
+			sum[i] += v
+		}
+	}
+	// Timed ring: each rank sends 2(n-1) chunks of len/n to its successor.
+	dev := c.Machine.GPUs[rank]
+	next := (rank + 1) % c.N
+	chunk := int64(float64(len(data)) * 4 / float64(c.N) / wireDiv)
+	if chunk < 1 {
+		chunk = 1
+	}
+	for step := 0; step < 2*(c.N-1); step++ {
+		dev.Transfer(p, c.Machine.Fabric, next, chunk, class)
+	}
+	c.barrier.Arrive(p)
+	copy(data, sum)
+	c.barrier.Arrive(p)
+}
+
+// Broadcast sends root's slice to all ranks (returned; root gets its own).
+func Broadcast[T any](c *Communicator, p *sim.Proc, rank, root int, data []T, elemBytes int, class hw.TrafficClass) []T {
+	if c.N == 1 {
+		return data
+	}
+	c.enter(p, rank)
+	defer c.exit(rank)
+	if rank == root {
+		c.slots[root] = data
+	}
+	c.barrier.Arrive(p)
+	got := c.slots[root].([]T)
+	if rank == root {
+		dev := c.Machine.GPUs[rank]
+		for i := 1; i < c.N; i++ {
+			q := (rank + i) % c.N
+			dev.Transfer(p, c.Machine.Fabric, q, int64(len(data))*int64(elemBytes), class)
+		}
+	}
+	c.barrier.Arrive(p)
+	return got
+}
+
+// Barrier synchronises the group without moving data.
+func (c *Communicator) Barrier(p *sim.Proc) {
+	if c.N == 1 {
+		return
+	}
+	c.barrier.Arrive(p)
+}

@@ -1,0 +1,433 @@
+// Package core implements DSP — Distributed Sampling and Pipelining — the
+// paper's multi-GPU GNN training system.
+//
+// Data layout: the graph topology is METIS-partitioned into patches, one per
+// GPU (internal/csp); remaining device memory caches the hottest feature
+// rows of each GPU's own patch, forming a partitioned aggregate cache
+// (internal/featstore); seed nodes are co-partitioned with the topology.
+//
+// Per mini-batch, three workers run on every GPU: the sampler builds graph
+// samples with the collective sampling primitive, the loader fetches
+// features (NVLink all-to-all for hot rows, UVA for cold rows, in
+// parallel), and the trainer computes gradients and allreduces them. The
+// workers of different mini-batches overlap through bounded queues
+// (capacity 2), and all communication kernels launch under centralized
+// communication coordination to stay deadlock-free.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/csp"
+	"repro/internal/featstore"
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/sample"
+	"repro/internal/sim"
+	"repro/internal/train"
+)
+
+// Worker ids for communication coordination.
+const (
+	samplerWorker = iota
+	loaderWorker
+	trainerWorker
+)
+
+// DSP is a configured instance of the system on a simulated machine.
+type DSP struct {
+	Opts train.Options
+
+	m     *hw.Machine
+	world *csp.World
+	store *featstore.Store
+	coord *pipeline.Coordinator
+
+	loaderComm *comm.Communicator
+	trainer    *train.Trainer
+	sched      train.Schedule
+
+	// Multi-instance worker state (paper §5 ablation): extra sampler
+	// worlds and loader communicators, one per instance.
+	worlds      []*csp.World
+	loaderComms []*comm.Communicator
+
+	// zeros backs loader reply payloads (transfer timing without copying
+	// real rows twice).
+	zeros []float32
+}
+
+// New builds a DSP instance: machine, partitioned topology, feature cache,
+// communicators, coordinator and model replicas.
+func New(opts train.Options) (*DSP, error) {
+	opts = opts.Defaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	d := opts.Data
+	n := d.NumGPUs()
+	s := &DSP{Opts: opts}
+	s.m = hw.NewMachineScaled(n, opts.GPU, opts.CPU, opts.LatencyScale)
+	topoBudget := opts.TopoCacheBudget
+	if topoBudget <= 0 {
+		// Cache the whole patch when it fits; otherwise keep the hottest
+		// adjacency lists within 60% of device memory (the paper: "DSP can
+		// also handle large graph patches by storing the hot nodes in GPU
+		// memory and the other nodes in CPU memory").
+		topoBudget = opts.GPU.MemBytes * 6 / 10
+	}
+	world, err := csp.NewWorldBudget(s.m, d.G, d.Offsets, topoBudget)
+	if err != nil {
+		return nil, fmt.Errorf("core: topology layout: %w", err)
+	}
+	s.world = world
+
+	// Reserve in-flight worker buffers BEFORE sizing the feature cache (see
+	// the multi-instance note below): extra sampler/loader instances eat
+	// directly into cache memory.
+	nS, nL := opts.NumSamplers, opts.NumLoaders
+	if nS < 1 {
+		nS = 1
+	}
+	if nL < 1 {
+		nL = 1
+	}
+	qc := opts.QueueCap
+	if qc < 1 {
+		qc = 2
+	}
+	// Every extra worker instance holds additional in-flight mini-batches
+	// (graph samples + gathered features) in device memory — the first
+	// reason the paper gives against the multi-instance design ("it
+	// consumes more memory for in-flight works and thus leaves less GPU
+	// memory to cache graph topology and node features").
+	if extra := (nS - 1) + (nL - 1); extra > 0 {
+		slots := int64(extra) * int64(qc)
+		perSlot := int64(opts.BatchSize) * 32 * int64(d.RowBytes())
+		for g := 0; g < n; g++ {
+			dev := s.m.GPUs[g]
+			want := slots * perSlot
+			// In-flight buffers squeeze the feature cache down to nothing
+			// before the build fails outright (leave a 5% floor so the
+			// system still assembles; the cache just starves).
+			if lim := dev.MemFree() * 95 / 100; want > lim {
+				want = lim
+			}
+			if err := dev.Reserve(want); err != nil {
+				return nil, fmt.Errorf("core: in-flight buffers for %d extra workers: %w", extra, err)
+			}
+		}
+	}
+
+	// Feature cache: topology first (the Figure 10 insight), features with
+	// the remaining or configured budget.
+	budget := opts.FeatureCacheBudget
+	if budget <= 0 {
+		budget = s.minFreeMem() * 9 / 10 // leave headroom for activations
+	}
+	policy := featstore.Policy(opts.CachePolicy)
+	if opts.ReplicatedCache {
+		s.store = featstore.BuildReplicated(d.G, d.Feats, d.FeatDim, n, budget, policy)
+	} else {
+		s.store = featstore.BuildPartitioned(d.G, d.Feats, d.FeatDim, d.Offsets, budget, policy)
+	}
+	for g := 0; g < n; g++ {
+		if err := s.m.GPUs[g].Reserve(s.store.CacheBytes(g)); err != nil {
+			return nil, fmt.Errorf("core: feature cache: %w", err)
+		}
+	}
+
+	// Distinct CCC worker ids: samplers 0..nS-1, loaders nS..nS+nL-1,
+	// trainer last.
+	s.coord = pipeline.NewCoordinator(s.m.Eng, n, opts.UseCCC, 2)
+	s.worlds = []*csp.World{s.world}
+	for i := 1; i < nS; i++ {
+		s.worlds = append(s.worlds, s.world.Clone())
+	}
+	for j := 0; j < nL; j++ {
+		s.loaderComms = append(s.loaderComms, comm.New(s.m))
+	}
+	s.loaderComm = s.loaderComms[0]
+	trainerComm := comm.New(s.m)
+	if opts.UseCCC {
+		for i, w := range s.worlds {
+			w.Comm.SetGate(s.coord.Gate(i))
+		}
+		for j, lc := range s.loaderComms {
+			lc.SetGate(s.coord.Gate(nS + j))
+		}
+		trainerComm.SetGate(s.coord.Gate(nS + nL))
+	}
+	s.trainer = train.NewTrainer(opts, trainerComm)
+	s.sched = train.NewSchedule(d, opts.BatchSize)
+	return s, nil
+}
+
+func (s *DSP) minFreeMem() int64 {
+	free := s.m.GPUs[0].MemFree()
+	for _, g := range s.m.GPUs[1:] {
+		if f := g.MemFree(); f < free {
+			free = f
+		}
+	}
+	return free
+}
+
+// Name implements train.System.
+func (s *DSP) Name() string {
+	if s.Opts.Pipeline {
+		return "DSP"
+	}
+	return "DSP-Seq"
+}
+
+// Machine implements train.System.
+func (s *DSP) Machine() *hw.Machine { return s.m }
+
+// Model implements train.System.
+func (s *DSP) Model() *nn.Model {
+	if len(s.trainer.Models) == 0 {
+		return nil
+	}
+	return s.trainer.Models[0]
+}
+
+// Replicas returns every per-GPU model replica (empty in cost-only mode).
+func (s *DSP) Replicas() []*nn.Model { return s.trainer.Models }
+
+// Store exposes the feature cache (for cache-layout assertions in tests).
+func (s *DSP) Store() *featstore.Store { return s.store }
+
+// World exposes the CSP world (for comm-volume measurements).
+func (s *DSP) World() *csp.World { return s.world }
+
+// loaded is the loader-to-trainer payload.
+type loaded struct {
+	mb    *sample.MiniBatch
+	feats []float32
+}
+
+// sampleStage builds the step's graph samples via CSP (or the data-pull
+// alternative when the Figure 11 ablation is selected).
+func (s *DSP) sampleStage(p *sim.Proc, rank, epoch, step int) *sample.MiniBatch {
+	return s.sampleStageWith(p, rank, epoch, step, s.world)
+}
+
+func (s *DSP) sampleStageWith(p *sim.Proc, rank, epoch, step int, w *csp.World) *sample.MiniBatch {
+	seeds := s.sched.Batch(s.Opts.Data, s.Opts.Seed, epoch, step, rank)
+	bs := train.BatchSeed(s.Opts.Seed, epoch, step, rank)
+	if s.Opts.PullData {
+		return w.PullDataSampleBatch(p, rank, seeds, s.Opts.Sample, bs)
+	}
+	if s.Opts.UnfusedSampling {
+		return w.SampleBatchUnfused(p, rank, seeds, s.Opts.Sample, bs)
+	}
+	return w.SampleBatch(p, rank, seeds, s.Opts.Sample, bs)
+}
+
+// zeroRows returns a zero-backed payload standing in for rows feature rows
+// (cost-only mode sends these so transfer timing stays exact without
+// copying real rows twice).
+func (s *DSP) zeroRows(rows int) []float32 {
+	need := rows * s.Opts.Data.FeatDim
+	if cap(s.zeros) < need {
+		s.zeros = make([]float32, need)
+	}
+	return s.zeros[:need]
+}
+
+// loadStage fetches features for the sampled batch: local cache hits via a
+// gather kernel, remote hot rows via all-to-all over NVLink, cold rows via
+// UVA — hot and cold fetches run in parallel on different links, as in the
+// paper.
+func (s *DSP) loadStage(p *sim.Proc, rank int, mb *sample.MiniBatch) loaded {
+	return s.loadStageWith(p, rank, mb, s.loaderComm)
+}
+
+func (s *DSP) loadStageWith(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *comm.Communicator) loaded {
+	d := s.Opts.Data
+	dev := s.m.GPUs[rank]
+	ids := mb.InputNodes()
+	local, remote, host := s.store.Split(ids, rank)
+	n := lc.N
+
+	// Cold rows via UVA, concurrently with the NVLink path.
+	uvaDone := s.m.Eng.NewEvent()
+	if len(host) > 0 {
+		s.m.Eng.Go(fmt.Sprintf("gpu%d/uva", rank), func(cp *sim.Proc) {
+			dev.UVARead(cp, s.m.Fabric, int64(len(host)), d.RowBytes(), hw.TrafficFeature)
+			uvaDone.Trigger()
+		})
+	} else {
+		uvaDone.Trigger()
+	}
+
+	// Local cache hits: one gather kernel.
+	if len(local) > 0 {
+		dev.RunKernel(p, hw.KernelGather, int64(len(local))*int64(d.RowBytes()))
+	}
+
+	// Remote hot rows: request ids, owners gather, rows come back.
+	if n > 1 {
+		reqIn := comm.AllToAll(lc, p, rank, remote, 4, hw.TrafficFeature)
+		var served int64
+		for q := 0; q < n; q++ {
+			served += int64(len(reqIn[q]))
+		}
+		if served > 0 {
+			dev.RunKernel(p, hw.KernelGather, served*int64(d.RowBytes()))
+		}
+		replies := make([][]float32, n)
+		for q := 0; q < n; q++ {
+			replies[q] = s.zeroRows(len(reqIn[q]))
+		}
+		comm.AllToAll(lc, p, rank, replies, 4, hw.TrafficFeature)
+	}
+
+	uvaDone.Wait(p)
+	// Assemble the contiguous input-feature buffer.
+	dev.RunKernel(p, hw.KernelGather, int64(len(ids))*int64(d.RowBytes()))
+	var feats []float32
+	if s.Opts.RealCompute {
+		feats = train.GatherFeatures(d, mb)
+	}
+	return loaded{mb: mb, feats: feats}
+}
+
+// RunEpoch implements train.System.
+func (s *DSP) RunEpoch(epoch int) (train.EpochStats, error) {
+	if s.Opts.Pipeline && (len(s.worlds) > 1 || len(s.loaderComms) > 1) {
+		return s.runEpochMulti(epoch)
+	}
+	return train.RunEpoch(s.m, epoch, s.Opts.Pipeline, s.Opts.QueueCap, s.Opts.EffectiveStageOverhead(),
+		func(rank int, st *train.EpochStats) pipeline.Stages {
+			return pipeline.Stages{
+				NumBatches: s.sched.Steps,
+				Sample: func(p *sim.Proc, step int) interface{} {
+					return s.sampleStage(p, rank, epoch, step)
+				},
+				Load: func(p *sim.Proc, step int, v interface{}) interface{} {
+					return s.loadStage(p, rank, v.(*sample.MiniBatch))
+				},
+				Train: func(p *sim.Proc, step int, v interface{}) {
+					l := v.(loaded)
+					s.trainer.Step(p, s.m.GPUs[rank], rank, l.mb, l.feats, st)
+				},
+			}
+		})
+}
+
+// runEpochMulti runs one epoch with multiple sampler/loader worker
+// instances per GPU (the §5 multi-instance ablation).
+func (s *DSP) runEpochMulti(epoch int) (train.EpochStats, error) {
+	eng := s.m.Eng
+	start := eng.Now()
+	before := s.m.Fabric.Counters
+	for _, g := range s.m.GPUs {
+		g.ResetBusy()
+	}
+	// More worker instances contend for the same host cores, so each
+	// stage's framework overhead grows with the total instance count (the
+	// paper's second reason: "the resource contention for both CPU and GPU
+	// is more severe").
+	workers := len(s.worlds) + len(s.loaderComms) + 1
+	overhead := s.Opts.EffectiveStageOverhead() * sim.Time(workers) / 3
+	stats := make([]train.EpochStats, len(s.m.GPUs))
+	var dones []*sim.Event
+	for rank := range s.m.GPUs {
+		rank := rank
+		st := &stats[rank]
+		ms := pipeline.MultiStages{NumBatches: s.sched.Steps}
+		for _, w := range s.worlds {
+			w := w
+			ms.Samplers = append(ms.Samplers, func(p *sim.Proc, step int) interface{} {
+				p.Sleep(overhead)
+				return s.sampleStageWith(p, rank, epoch, step, w)
+			})
+		}
+		for _, lc := range s.loaderComms {
+			lc := lc
+			ms.Loaders = append(ms.Loaders, func(p *sim.Proc, step int, v interface{}) interface{} {
+				p.Sleep(overhead)
+				return s.loadStageWith(p, rank, v.(*sample.MiniBatch), lc)
+			})
+		}
+		ms.Train = func(p *sim.Proc, step int, v interface{}) {
+			p.Sleep(overhead)
+			l := v.(loaded)
+			s.trainer.Step(p, s.m.GPUs[rank], rank, l.mb, l.feats, st)
+		}
+		done := eng.NewEvent()
+		dones = append(dones, done)
+		pipeline.RunPipelinedMulti(eng, fmt.Sprintf("gpu%d", rank), ms, s.Opts.QueueCap, done)
+	}
+	end, err := eng.Run()
+	if err != nil {
+		return train.EpochStats{}, err
+	}
+	for _, d := range dones {
+		if !d.Fired() {
+			return train.EpochStats{}, fmt.Errorf("core: multi-worker epoch incomplete")
+		}
+	}
+	out := train.EpochStats{Epoch: epoch, EpochTime: end - start}
+	for _, st := range stats {
+		out.Loss += st.Loss
+		out.Correct += st.Correct
+		out.Seen += st.Seen
+	}
+	out.Utilization = s.m.Utilization(start, end)
+	after := s.m.Fabric.Counters
+	out.SampleWire = after.TotalWire(hw.TrafficSample) - before.TotalWire(hw.TrafficSample)
+	out.FeatureWire = after.TotalWire(hw.TrafficFeature) - before.TotalWire(hw.TrafficFeature)
+	out.GradWire = after.TotalWire(hw.TrafficGradient) - before.TotalWire(hw.TrafficGradient)
+	return out, nil
+}
+
+// RunSampleEpoch implements train.System: only the samplers run (the
+// paper's Table 6 methodology — "running the sampler individually without
+// interference from other workers").
+func (s *DSP) RunSampleEpoch(epoch int) (train.EpochStats, error) {
+	n := s.Opts.Data.NumGPUs()
+	eng := s.m.Eng
+	start := eng.Now()
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		eng.Go(fmt.Sprintf("gpu%d/sampler", rank), func(p *sim.Proc) {
+			overhead := s.Opts.EffectiveStageOverhead()
+			for step := 0; step < s.sched.Steps; step++ {
+				p.Sleep(overhead)
+				s.sampleStage(p, rank, epoch, step)
+			}
+		})
+	}
+	end, err := eng.Run()
+	if err != nil {
+		return train.EpochStats{}, err
+	}
+	return train.EpochStats{Epoch: epoch, SampleTime: end - start, EpochTime: end - start}, nil
+}
+
+// RandomWalkEpoch runs one pass of random walks from every shard seed (the
+// DeepWalk-style workload of the random-walk example).
+func (s *DSP) RandomWalkEpoch(length int) (map[int][][]graph.NodeID, sim.Time, error) {
+	n := s.Opts.Data.NumGPUs()
+	eng := s.m.Eng
+	start := eng.Now()
+	out := make(map[int][][]graph.NodeID, n)
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		eng.Go(fmt.Sprintf("gpu%d/walker", rank), func(p *sim.Proc) {
+			out[rank] = s.world.RandomWalk(p, rank, s.Opts.Data.Shards[rank], length,
+				train.BatchSeed(s.Opts.Seed, 0, 0, rank))
+		})
+	}
+	end, err := eng.Run()
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, end - start, nil
+}

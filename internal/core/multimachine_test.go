@@ -1,0 +1,136 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/train"
+)
+
+func TestMultiDSPRuns(t *testing.T) {
+	td := testData(t, 2)
+	o := smallOpts(td)
+	sys, err := core.NewMulti(o, 2, hw.InfiniBandEDR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.RunEpoch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EpochTime <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if len(st.Utilization) != 4 {
+		t.Fatalf("expected 4 GPU utilizations (2x2), got %d", len(st.Utilization))
+	}
+	if st.InterWire == 0 {
+		t.Error("no inter-machine traffic despite partitioned cold features")
+	}
+}
+
+func TestMultiDSPSingleMachineMatchesDSP(t *testing.T) {
+	// One machine degenerates to the single-machine system bitwise: same
+	// batches, same seeds, same model after an epoch.
+	td := testData(t, 2)
+	o := smallOpts(td)
+	o.RealCompute = true
+
+	single, err := core.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.RunEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+	multi, err := core.NewMulti(o, 1, hw.InfiniBandEDR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := multi.RunEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float32, single.Model().ParamCount())
+	b := make([]float32, multi.Model().ParamCount())
+	single.Model().ParamVector(a)
+	multi.Model().ParamVector(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("1-machine MultiDSP diverges from DSP at param %d", i)
+		}
+	}
+}
+
+func TestMultiDSPBSPAcrossMachines(t *testing.T) {
+	// Training accuracy improves and gradients synchronise globally: two
+	// machines see twice the seeds per epoch, and the model still learns.
+	td := testData(t, 2)
+	o := smallOpts(td)
+	o.RealCompute = true
+	sys, err := core.NewMulti(o, 2, hw.InfiniBandEDR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		if _, err := sys.RunEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc := train.Evaluate(td, sys.Model(), o.Sample, 500, 9)
+	if chance := 1.0 / float64(td.NumClasses); acc < 3*chance {
+		t.Fatalf("cluster training stuck at %.3f", acc)
+	}
+}
+
+func TestMultiDSPScalesAcrossMachines(t *testing.T) {
+	// Doubling machines roughly halves epoch time (each machine consumes a
+	// stride of the seeds), minus NIC costs.
+	td := testData(t, 2)
+	o := smallOpts(td)
+	run := func(machines int) float64 {
+		sys, err := core.NewMulti(o, machines, hw.InfiniBandEDR())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sys.RunEpoch(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(st.EpochTime)
+	}
+	one := run(1)
+	two := run(2)
+	if two >= one {
+		t.Fatalf("2 machines (%g) not faster than 1 (%g)", two, one)
+	}
+	if two < one/3 {
+		t.Fatalf("2 machines suspiciously fast: %g vs %g", two, one)
+	}
+}
+
+func TestMultiDSPOnlyColdAndGradOverNIC(t *testing.T) {
+	// Paper: "the machines only communicate for cold features and model
+	// synchronization" — sampling never crosses the NIC.
+	td := testData(t, 2)
+	o := smallOpts(td)
+	// Force cold rows to exist: cache only a sliver of the features.
+	o.FeatureCacheBudget = int64(100 * td.RowBytes())
+	sys, err := core.NewMulti(o, 2, hw.InfiniBandEDR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+	net := sys.Cluster().Net
+	if net.Bytes[hw.TrafficSample] != 0 {
+		t.Errorf("sampling crossed the NIC: %d bytes", net.Bytes[hw.TrafficSample])
+	}
+	if net.Bytes[hw.TrafficFeature] == 0 {
+		t.Error("no cold-feature NIC traffic")
+	}
+	if net.Bytes[hw.TrafficGradient] == 0 {
+		t.Error("no gradient NIC traffic")
+	}
+}

@@ -1,0 +1,382 @@
+// Package csp implements the paper's Collective Sampling Primitive: graph
+// sampling executed jointly by all GPUs on a topology partitioned across
+// them.
+//
+// Each sampling layer runs in three stages:
+//
+//	shuffle   — every frontier node is sent to the GPU holding its
+//	            adjacency list (a task of 8 bytes: node id + fan-out);
+//	sample    — each GPU executes ALL tasks it received in one fused
+//	            kernel, drawing neighbours from its local patch;
+//	reshuffle — the sampled neighbour ids travel back to the requesting
+//	            GPU, which assembles the mini-batch block.
+//
+// This is the task-push paradigm: only frontier ids and sampled ids cross
+// the fabric, never adjacency lists. The PullData function implements the
+// data-pull alternative (fetch whole adjacency + weight lists, sample
+// locally) that Figure 11 compares against. RandomWalk implements walks as
+// fan-out-1 sampling whose tasks migrate with the walk (no reshuffle).
+//
+// Sampling results are bit-identical to sample.Reference on the unpartitioned
+// graph because every neighbour draw is seeded by (batch seed, layer, global
+// node id) regardless of the executing GPU.
+package csp
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/sample"
+	"repro/internal/sim"
+)
+
+// PatchStore is one GPU's share of the partitioned topology: the adjacency
+// lists of its owned id range, with local indptr and GLOBAL neighbour ids
+// (the paper stores global ids to avoid converting sampled nodes back).
+//
+// OnHost is the adjacency position list of the paper's §6: when the
+// topology-cache budget is smaller than the patch, the lowest-degree nodes'
+// adjacency lists live in CPU memory and are read through UVA during the
+// sample stage. GPUBytes is the device-resident share.
+type PatchStore struct {
+	Lo, Hi   graph.NodeID
+	Adj      graph.CSR
+	OnHost   []bool
+	GPUBytes int64
+}
+
+// applyBudget marks the lowest-degree nodes host-resident until the
+// GPU-resident share fits budget (<=0 keeps everything on the GPU).
+func (ps *PatchStore) applyBudget(budget int64) {
+	n := ps.Adj.NumNodes()
+	ps.OnHost = make([]bool, n)
+	total := ps.Adj.TopologyBytes()
+	ps.GPUBytes = total
+	if budget <= 0 || total <= budget {
+		return
+	}
+	order := ps.Adj.NodesByDegreeDesc()
+	perEdge := int64(4)
+	if ps.Adj.Weights != nil {
+		perEdge = 8
+	}
+	// Walk from the hottest node down, keeping rows until budget runs out.
+	used := int64(n+1) * 8 // indptr / position list stays resident
+	for _, v := range order {
+		rowBytes := int64(ps.Adj.Degree(v)) * perEdge
+		if used+rowBytes <= budget {
+			used += rowBytes
+		} else {
+			ps.OnHost[v] = true
+		}
+	}
+	ps.GPUBytes = used
+}
+
+// Local converts a global id owned by this patch to its local index.
+func (ps *PatchStore) Local(v graph.NodeID) int32 { return int32(v - ps.Lo) }
+
+// Neighbors returns the adjacency list of global node v (owned here).
+func (ps *PatchStore) Neighbors(v graph.NodeID) []graph.NodeID {
+	return ps.Adj.Neighbors(ps.Local(v))
+}
+
+// NeighborWeights returns the weight list of global node v (owned here).
+func (ps *PatchStore) NeighborWeights(v graph.NodeID) []float32 {
+	return ps.Adj.NeighborWeights(ps.Local(v))
+}
+
+// World is the collective sampling state shared by all sampler workers.
+type World struct {
+	M       *hw.Machine
+	Comm    *comm.Communicator
+	Offsets []int64
+	Patches []*PatchStore
+}
+
+// NewWorld partitions a layout-ordered graph into per-GPU patches and
+// reserves device memory for them. The graph must already be renumbered so
+// GPU g owns ids [offsets[g], offsets[g+1]).
+func NewWorld(m *hw.Machine, g *graph.CSR, offsets []int64) (*World, error) {
+	return NewWorldBudget(m, g, offsets, 0)
+}
+
+// NewWorldBudget is NewWorld with a per-GPU topology-cache budget in bytes:
+// patches larger than the budget keep their hottest adjacency lists on the
+// GPU and leave the rest in CPU memory, accessed via UVA during sampling
+// (budget <= 0 caches the full patch). This enables the Figure 10
+// topology/feature cache-split experiment.
+func NewWorldBudget(m *hw.Machine, g *graph.CSR, offsets []int64, topoBudget int64) (*World, error) {
+	n := len(m.GPUs)
+	if len(offsets) != n+1 {
+		return nil, fmt.Errorf("csp: %d offsets for %d GPUs", len(offsets), n)
+	}
+	w := &World{M: m, Comm: comm.New(m), Offsets: offsets}
+	for gpu := 0; gpu < n; gpu++ {
+		lo, hi := graph.NodeID(offsets[gpu]), graph.NodeID(offsets[gpu+1])
+		nodes := make([]graph.NodeID, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			nodes = append(nodes, v)
+		}
+		patch := graph.ExtractPatch(g, nodes)
+		ps := &PatchStore{Lo: lo, Hi: hi, Adj: patch.Adj}
+		ps.applyBudget(topoBudget)
+		if err := m.GPUs[gpu].Reserve(ps.GPUBytes); err != nil {
+			return nil, fmt.Errorf("csp: patch for GPU %d: %w", gpu, err)
+		}
+		w.Patches = append(w.Patches, ps)
+	}
+	return w, nil
+}
+
+// Owner returns the GPU owning global node v (range check over <=8 parts).
+func (w *World) Owner(v graph.NodeID) int {
+	id := int64(v)
+	for g := 0; g < len(w.Offsets)-1; g++ {
+		if id < w.Offsets[g+1] {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("csp: node %d out of range", v))
+}
+
+// task is a shuffled sampling request: draw Count neighbours of Node.
+type task struct {
+	Node  graph.NodeID
+	Count int32
+}
+
+const taskBytes = 8
+const idBytes = 4
+
+// Clone returns a view of the world sharing the topology patches but with
+// its own communicator — one per sampler worker instance when the pipeline
+// runs multiple samplers (each worker group needs its own NCCL
+// communicator, as in the real system).
+func (w *World) Clone() *World {
+	return &World{M: w.M, Comm: comm.New(w.M), Offsets: w.Offsets, Patches: w.Patches}
+}
+
+// SampleBatch collectively samples a mini-batch for this rank's seeds.
+// All ranks must call it together (same cfg); ranks with no seeds this step
+// pass an empty slice but still serve remote tasks. batchSeed is this rank's
+// own batch seed.
+func (w *World) SampleBatch(p *sim.Proc, rank int, seeds []graph.NodeID, cfg sample.Config, batchSeed uint64) *sample.MiniBatch {
+	return w.sampleBatch(p, rank, seeds, cfg, batchSeed, true)
+}
+
+// SampleBatchUnfused is the asynchronous-operation alternative discussed in
+// §4.1: instead of executing all received tasks of a layer in one fused
+// kernel, each task launches its own small kernel. The paper observes this
+// design "has poor efficiency as the communication and sampling tasks of a
+// single GPU are small" — the per-kernel launch overhead dominates.
+func (w *World) SampleBatchUnfused(p *sim.Proc, rank int, seeds []graph.NodeID, cfg sample.Config, batchSeed uint64) *sample.MiniBatch {
+	return w.sampleBatch(p, rank, seeds, cfg, batchSeed, false)
+}
+
+func (w *World) sampleBatch(p *sim.Proc, rank int, seeds []graph.NodeID, cfg sample.Config, batchSeed uint64, fused bool) *sample.MiniBatch {
+	// Exchange batch seeds so owners can seed draws for any requester.
+	seedsAll := comm.AllGather(w.Comm, p, rank, []uint64{batchSeed}, 8, hw.TrafficOther)
+	peerSeed := make([]uint64, w.Comm.N)
+	for q := range peerSeed {
+		peerSeed[q] = seedsAll[q][0]
+	}
+
+	mb := &sample.MiniBatch{Seeds: seeds, Seed: batchSeed}
+	dst := seeds
+	blocks := make([]*sample.Block, 0, cfg.Layers())
+	for l := 0; l < cfg.Layers(); l++ {
+		var counts []int32
+		if cfg.LayerWise {
+			info := w.fetchMasses(p, rank, dst)
+			counts = layerCounts(dst, info, cfg, l, batchSeed)
+		} else {
+			counts = make([]int32, len(dst))
+			for i := range counts {
+				counts[i] = int32(cfg.Fanout[l])
+			}
+		}
+		block := w.sampleLayer(p, rank, dst, counts, cfg, l, peerSeed, fused)
+		blocks = append(blocks, block)
+		dst = block.InputNodes
+	}
+	for i, j := 0, len(blocks)-1; i < j; i, j = i+1, j-1 {
+		blocks[i], blocks[j] = blocks[j], blocks[i]
+	}
+	mb.Blocks = blocks
+	return mb
+}
+
+// massInfo carries a frontier node's neighbour weight mass and degree back
+// to the requester for the layer-wise budget split.
+type massInfo struct {
+	Mass float64
+	Deg  int32
+}
+
+const massInfoBytes = 12
+
+// layerCounts performs the Eq. (2) budget split locally on the requester.
+func layerCounts(dst []graph.NodeID, info []massInfo, cfg sample.Config, layer int, batchSeed uint64) []int32 {
+	r := sample.NodeSeed(batchSeed, layer, graph.NodeID(-1))
+	budget := cfg.Fanout[layer]
+	masses := make([]float64, len(dst))
+	for i := range info {
+		masses[i] = info[i].Mass
+	}
+	var perNode []int
+	if cfg.WithReplacement {
+		perNode = sample.LayerBudget(r, masses, budget)
+	} else {
+		capacity := make([]int, len(dst))
+		for i := range info {
+			capacity[i] = int(info[i].Deg)
+		}
+		perNode = sample.LayerBudgetWithoutReplacement(r, masses, capacity, budget)
+	}
+	counts := make([]int32, len(dst))
+	for i, c := range perNode {
+		counts[i] = int32(c)
+	}
+	return counts
+}
+
+// fetchMasses retrieves each frontier node's neighbour weight mass and
+// degree from its owner (one round of shuffle/reply with tiny payloads).
+func (w *World) fetchMasses(p *sim.Proc, rank int, dst []graph.NodeID) []massInfo {
+	n := w.Comm.N
+	outIDs := make([][]graph.NodeID, n)
+	where := make([][2]int32, len(dst)) // (owner, index in owner's list)
+	for i, v := range dst {
+		o := w.Owner(v)
+		where[i] = [2]int32{int32(o), int32(len(outIDs[o]))}
+		outIDs[o] = append(outIDs[o], v)
+	}
+	inIDs := comm.AllToAll(w.Comm, p, rank, outIDs, idBytes, hw.TrafficSample)
+	// Owner side: compute masses with a small kernel.
+	replies := make([][]massInfo, n)
+	var work int64
+	for q := 0; q < n; q++ {
+		work += int64(len(inIDs[q]))
+	}
+	if work > 0 {
+		w.M.GPUs[rank].RunKernel(p, hw.KernelSample, work)
+	}
+	ps := w.Patches[rank]
+	for q := 0; q < n; q++ {
+		replies[q] = make([]massInfo, len(inIDs[q]))
+		for i, v := range inIDs[q] {
+			lv := ps.Local(v)
+			replies[q][i] = massInfo{Mass: ps.Adj.WeightSum(lv), Deg: int32(ps.Adj.Degree(lv))}
+		}
+	}
+	back := comm.AllToAll(w.Comm, p, rank, replies, massInfoBytes, hw.TrafficSample)
+	info := make([]massInfo, len(dst))
+	for i := range dst {
+		o, j := where[i][0], where[i][1]
+		info[i] = back[o][j]
+	}
+	return info
+}
+
+// sampleLayer runs one shuffle/sample/reshuffle round and assembles the
+// requester-side block. fused selects one kernel for all received tasks
+// (DSP's design) versus one kernel per task (the async alternative).
+func (w *World) sampleLayer(p *sim.Proc, rank int, dst []graph.NodeID, counts []int32, cfg sample.Config, layer int, peerSeed []uint64, fused bool) *sample.Block {
+	n := w.Comm.N
+	dev := w.M.GPUs[rank]
+
+	// --- shuffle: route tasks to owners -------------------------------
+	outTasks := make([][]task, n)
+	where := make([][2]int32, len(dst))
+	for i, v := range dst {
+		if counts[i] == 0 {
+			where[i] = [2]int32{-1, -1}
+			continue
+		}
+		o := w.Owner(v)
+		where[i] = [2]int32{int32(o), int32(len(outTasks[o]))}
+		outTasks[o] = append(outTasks[o], task{Node: v, Count: counts[i]})
+	}
+	inTasks := comm.AllToAll(w.Comm, p, rank, outTasks, taskBytes, hw.TrafficSample)
+
+	// --- sample: one fused kernel over every received task ------------
+	ps := w.Patches[rank]
+	replyCounts := make([][]int32, n)
+	replySamples := make([][]graph.NodeID, n)
+	var fusedWork, hostItems int64
+	for q := 0; q < n; q++ {
+		for _, t := range inTasks[q] {
+			fusedWork += int64(t.Count)
+			if ps.OnHost != nil && ps.OnHost[ps.Local(t.Node)] {
+				// Host-resident adjacency: the kernel reads the sampled
+				// entries (plus the position lookup) through UVA.
+				hostItems += int64(t.Count) + 1
+			}
+		}
+	}
+	if hostItems > 0 {
+		dev.UVARead(p, w.M.Fabric, hostItems, 4, hw.TrafficSample)
+	}
+	if fused {
+		if fusedWork > 0 {
+			dev.RunKernel(p, hw.KernelSample, fusedWork)
+		}
+	} else {
+		for q := 0; q < n; q++ {
+			for _, t := range inTasks[q] {
+				dev.RunKernel(p, hw.KernelSample, int64(t.Count))
+			}
+		}
+	}
+	for q := 0; q < n; q++ {
+		replyCounts[q] = make([]int32, len(inTasks[q]))
+		var buf []graph.NodeID
+		for i, t := range inTasks[q] {
+			before := len(buf)
+			buf = sample.DrawAdj(ps.Neighbors(t.Node), ps.NeighborWeights(t.Node),
+				t.Node, layer, int(t.Count), cfg, peerSeed[q], buf)
+			replyCounts[q][i] = int32(len(buf) - before)
+		}
+		replySamples[q] = buf
+	}
+
+	// --- reshuffle: results travel back to requesters ------------------
+	backCounts := comm.AllToAll(w.Comm, p, rank, replyCounts, 4, hw.TrafficSample)
+	backSamples := comm.AllToAll(w.Comm, p, rank, replySamples, idBytes, hw.TrafficSample)
+
+	// --- assembly on the requester -------------------------------------
+	// Per-owner cursors into the concatenated sample buffers.
+	starts := make([][]int32, n)
+	for o := 0; o < n; o++ {
+		starts[o] = make([]int32, len(backCounts[o])+1)
+		for i, c := range backCounts[o] {
+			starts[o][i+1] = starts[o][i] + c
+		}
+	}
+	outCounts := make([]int32, len(dst))
+	var samples []graph.NodeID
+	for i := range dst {
+		o, j := where[i][0], where[i][1]
+		if o < 0 {
+			continue
+		}
+		seg := backSamples[o][starts[o][j]:starts[o][j+1]]
+		samples = append(samples, seg...)
+		outCounts[i] = int32(len(seg))
+	}
+	// The block-assembly kernel (unique + index building) is bandwidth
+	// work proportional to the gathered ids.
+	if len(samples) > 0 {
+		dev.RunKernel(p, hw.KernelGather, int64(len(samples))*16)
+	}
+	return sample.BuildBlock(dst, outCounts, samples)
+}
+
+// SamplingCommVolume reports the sample-class wire bytes accumulated so far
+// (Figure 1 / Figure 11 measurements read this).
+func (w *World) SamplingCommVolume() int64 {
+	return w.M.Fabric.Counters.TotalWire(hw.TrafficSample)
+}

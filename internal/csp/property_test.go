@@ -1,0 +1,83 @@
+package csp
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/hw"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/sample"
+	"repro/internal/sim"
+)
+
+// TestCSPEquivalenceProperty drives CSP across randomised configurations
+// (graph shape, GPU count, fan-outs, bias, batch seeds) and checks
+// bit-equality with the reference sampler every time.
+func TestCSPEquivalenceProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		nGPU := []int{2, 3, 4, 5, 8}[r.Intn(5)]
+		nodes := 300 + r.Intn(1200)
+		deg := 4 + r.Intn(12)
+		layers := 1 + r.Intn(3)
+		fanout := make([]int, layers)
+		for i := range fanout {
+			fanout[i] = 1 + r.Intn(7)
+		}
+		biased := r.Intn(2) == 1
+		d := gen.Generate(gen.Config{
+			Name: "prop", Nodes: nodes, AvgDegree: float64(deg),
+			FeatDim: 2, NumClasses: 4, Seed: seed,
+		})
+		if biased {
+			d.AttachUniformWeights(seed + 1)
+		}
+		res := partition.Metis(d.G, nGPU, seed)
+		ren := partition.BuildRenumbering(res)
+		gl := ren.ApplyToGraph(d.G)
+		m := hw.NewMachine(nGPU, hw.V100(), hw.XeonE5())
+		w, err := NewWorld(m, gl, ren.Offsets)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		cfg := sample.Config{Fanout: fanout, Biased: biased}
+		train := ren.ApplyToIDs(d.TrainIdx)
+		seeds := make([][]int32, nGPU)
+		bseeds := make([]uint64, nGPU)
+		for g := 0; g < nGPU; g++ {
+			owned := ren.SortOwned(train, g)
+			if len(owned) > 20 {
+				owned = owned[:20]
+			}
+			seeds[g] = owned
+			bseeds[g] = rng.Mix(seed, uint64(g))
+		}
+		got := make([]*sample.MiniBatch, nGPU)
+		for g := 0; g < nGPU; g++ {
+			g := g
+			m.Eng.Go(fmt.Sprintf("s%d", g), func(p *sim.Proc) {
+				got[g] = w.SampleBatch(p, g, seeds[g], cfg, bseeds[g])
+			})
+		}
+		if _, err := m.Eng.Run(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for g := 0; g < nGPU; g++ {
+			want := sample.Reference(gl, seeds[g], cfg, bseeds[g])
+			if err := sameBatch(got[g], want); err != nil {
+				t.Logf("seed %d gpu %d: %v", seed, g, err)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if err := quick.Check(func(s uint16) bool { return check(uint64(s)) }, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package featstore implements node-feature placement and lookup: the
+// feature position lists of the paper's implementation section.
+//
+// DSP uses a *partitioned* cache: each GPU caches the hottest feature rows
+// of its own graph patch (hot nodes selected by in-degree by default), so the
+// GPUs jointly form one large NVLink-reachable aggregate cache; cold rows
+// stay in CPU memory and are read via UVA. Quiver-style systems instead
+// *replicate* one globally-hot set on every GPU, bounded by a single GPU's
+// budget. Both layouts are provided so the caching ablations can compare
+// them under identical budgets.
+package featstore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Policy selects the hot-node ranking criterion.
+type Policy int
+
+const (
+	// ByDegree ranks nodes by in-degree (the paper's default).
+	ByDegree Policy = iota
+	// ByPageRank ranks by PageRank score.
+	ByPageRank
+	// ByReversePageRank ranks by PageRank on the reversed graph.
+	ByReversePageRank
+)
+
+func (p Policy) String() string {
+	switch p {
+	case ByDegree:
+		return "degree"
+	case ByPageRank:
+		return "pagerank"
+	case ByReversePageRank:
+		return "reverse-pagerank"
+	default:
+		return "unknown"
+	}
+}
+
+// Layout distinguishes the cache organisations under comparison.
+type Layout int
+
+const (
+	// Partitioned: each GPU caches different rows (DSP).
+	Partitioned Layout = iota
+	// Replicated: every GPU caches the same globally-hot rows (Quiver).
+	Replicated
+	// HostOnly: no GPU cache at all (DGL-UVA on graphs whose features do
+	// not fit a single GPU, as in the paper's experiments).
+	HostOnly
+)
+
+// Store is the feature placement for one machine. Node ids are layout ids
+// (after renumbering); features are stored in the same order.
+type Store struct {
+	Layout   Layout
+	Dim      int
+	NumGPUs  int
+	features []float32
+
+	// cacheGPU[v] is the GPU holding v's cached row under the Partitioned
+	// layout (-1 = not cached). Under Replicated, hot[v] says the row is on
+	// every GPU. This is the "feature position list".
+	cacheGPU []int8
+	hot      []bool
+
+	// CachedRows[g] counts rows cached on GPU g (memory accounting).
+	CachedRows []int64
+}
+
+// RowBytes returns the wire size of one feature row.
+func (s *Store) RowBytes() int { return s.Dim * 4 }
+
+// Row returns node v's feature row (a view into backing storage).
+func (s *Store) Row(v graph.NodeID) []float32 {
+	return s.features[int(v)*s.Dim : (int(v)+1)*s.Dim]
+}
+
+// Gather copies the rows of ids into a contiguous buffer — the real data
+// work the simulated gather kernels account for.
+func (s *Store) Gather(ids []graph.NodeID) []float32 {
+	out := make([]float32, len(ids)*s.Dim)
+	for i, v := range ids {
+		copy(out[i*s.Dim:(i+1)*s.Dim], s.Row(v))
+	}
+	return out
+}
+
+// CacheBytes returns the cache footprint on GPU g.
+func (s *Store) CacheBytes(g int) int64 {
+	return s.CachedRows[g] * int64(s.RowBytes())
+}
+
+// Placement classifies where node v's feature row is read from by GPU g.
+type Placement int
+
+const (
+	// LocalGPU: cached on the requesting GPU.
+	LocalGPU Placement = iota
+	// RemoteGPU: cached on another GPU, fetched over NVLink.
+	RemoteGPU
+	// HostMemory: cold row, fetched from CPU memory via UVA.
+	HostMemory
+)
+
+// Locate returns the placement of v's row relative to requesting GPU g, and
+// for RemoteGPU the holder id.
+func (s *Store) Locate(v graph.NodeID, g int) (Placement, int) {
+	switch s.Layout {
+	case Replicated:
+		if s.hot[v] {
+			return LocalGPU, g
+		}
+		return HostMemory, -1
+	case HostOnly:
+		return HostMemory, -1
+	default:
+		holder := s.cacheGPU[v]
+		switch {
+		case holder < 0:
+			return HostMemory, -1
+		case int(holder) == g:
+			return LocalGPU, g
+		default:
+			return RemoteGPU, int(holder)
+		}
+	}
+}
+
+// Split partitions requested ids by placement for requesting GPU g:
+// local rows, per-remote-GPU rows, and host rows.
+func (s *Store) Split(ids []graph.NodeID, g int) (local []graph.NodeID, remote [][]graph.NodeID, host []graph.NodeID) {
+	remote = make([][]graph.NodeID, s.NumGPUs)
+	for _, v := range ids {
+		switch p, holder := s.Locate(v, g); p {
+		case LocalGPU:
+			local = append(local, v)
+		case RemoteGPU:
+			remote[holder] = append(remote[holder], v)
+		default:
+			host = append(host, v)
+		}
+	}
+	return local, remote, host
+}
+
+// Scores computes the policy ranking scores for all nodes.
+func Scores(g *graph.CSR, policy Policy) []float64 {
+	n := g.NumNodes()
+	scores := make([]float64, n)
+	switch policy {
+	case ByDegree:
+		for v := 0; v < n; v++ {
+			scores[v] = float64(g.Degree(graph.NodeID(v)))
+		}
+	case ByPageRank:
+		copy(scores, g.PageRank(0.85, 20))
+	case ByReversePageRank:
+		copy(scores, g.Reverse().PageRank(0.85, 20))
+	default:
+		panic(fmt.Sprintf("featstore: unknown policy %d", policy))
+	}
+	return scores
+}
+
+// BuildPartitioned builds DSP's partitioned cache: GPU g caches the
+// highest-scoring rows of its own id range [offsets[g], offsets[g+1]) up to
+// budgetPerGPU bytes. The graph must already be in layout order.
+func BuildPartitioned(g *graph.CSR, features []float32, dim int, offsets []int64, budgetPerGPU int64, policy Policy) *Store {
+	numGPUs := len(offsets) - 1
+	s := &Store{
+		Layout: Partitioned, Dim: dim, NumGPUs: numGPUs,
+		features:   features,
+		cacheGPU:   make([]int8, g.NumNodes()),
+		CachedRows: make([]int64, numGPUs),
+	}
+	for i := range s.cacheGPU {
+		s.cacheGPU[i] = -1
+	}
+	scores := Scores(g, policy)
+	rowBytes := int64(dim * 4)
+	capRows := budgetPerGPU / rowBytes
+	for gpu := 0; gpu < numGPUs; gpu++ {
+		lo, hi := offsets[gpu], offsets[gpu+1]
+		ids := make([]graph.NodeID, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			ids = append(ids, graph.NodeID(v))
+		}
+		sort.SliceStable(ids, func(a, b int) bool {
+			sa, sb := scores[ids[a]], scores[ids[b]]
+			if sa != sb {
+				return sa > sb
+			}
+			return ids[a] < ids[b]
+		})
+		take := int64(len(ids))
+		if take > capRows {
+			take = capRows
+		}
+		for _, v := range ids[:take] {
+			s.cacheGPU[v] = int8(gpu)
+		}
+		s.CachedRows[gpu] = take
+	}
+	return s
+}
+
+// BuildReplicated builds the Quiver-style replicated cache: the globally
+// highest-scoring rows that fit in ONE GPU's budget, present on every GPU.
+func BuildReplicated(g *graph.CSR, features []float32, dim int, numGPUs int, budgetPerGPU int64, policy Policy) *Store {
+	s := &Store{
+		Layout: Replicated, Dim: dim, NumGPUs: numGPUs,
+		features:   features,
+		hot:        make([]bool, g.NumNodes()),
+		CachedRows: make([]int64, numGPUs),
+	}
+	scores := Scores(g, policy)
+	ids := make([]graph.NodeID, g.NumNodes())
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		sa, sb := scores[ids[a]], scores[ids[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return ids[a] < ids[b]
+	})
+	capRows := budgetPerGPU / int64(dim*4)
+	take := int64(len(ids))
+	if take > capRows {
+		take = capRows
+	}
+	for _, v := range ids[:take] {
+		s.hot[v] = true
+	}
+	for gpu := range s.CachedRows {
+		s.CachedRows[gpu] = take
+	}
+	return s
+}
+
+// BuildHostOnly keeps every row in CPU memory (DGL-UVA without caching).
+func BuildHostOnly(n int, features []float32, dim, numGPUs int) *Store {
+	return &Store{
+		Layout: HostOnly, Dim: dim, NumGPUs: numGPUs,
+		features:   features,
+		CachedRows: make([]int64, numGPUs),
+	}
+}
+
+// AggregateCachedRows returns the number of DISTINCT rows cached across all
+// GPUs — the partitioned layout's headline advantage over replication.
+func (s *Store) AggregateCachedRows() int64 {
+	switch s.Layout {
+	case Partitioned:
+		var t int64
+		for _, c := range s.CachedRows {
+			t += c
+		}
+		return t
+	case Replicated:
+		if s.NumGPUs == 0 {
+			return 0
+		}
+		return s.CachedRows[0]
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,312 @@
+package featstore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+type fixture struct {
+	d       *gen.Dataset
+	g       *graph.CSR
+	feats   []float32
+	offsets []int64
+	k       int
+}
+
+func build(t *testing.T, k int) *fixture {
+	t.Helper()
+	d := gen.Generate(gen.Config{
+		Name: "t", Nodes: 2000, AvgDegree: 10, FeatDim: 8, NumClasses: 4, Seed: 3,
+	})
+	res := partition.Metis(d.G, k, 1)
+	ren := partition.BuildRenumbering(res)
+	return &fixture{
+		d:       d,
+		g:       ren.ApplyToGraph(d.G),
+		feats:   ren.ApplyToFeatures(d.Features, d.FeatDim),
+		offsets: ren.Offsets,
+		k:       k,
+	}
+}
+
+func TestPartitionedRespectsBudgetAndOwnership(t *testing.T) {
+	f := build(t, 4)
+	budget := int64(200 * f.d.FeatDim * 4) // 200 rows per GPU
+	s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, budget, ByDegree)
+	for g := 0; g < 4; g++ {
+		if s.CachedRows[g] != 200 {
+			t.Errorf("GPU %d cached %d rows, want 200", g, s.CachedRows[g])
+		}
+		if s.CacheBytes(g) > budget {
+			t.Errorf("GPU %d over budget", g)
+		}
+	}
+	// Cached nodes live in their holder's id range.
+	for v := 0; v < f.g.NumNodes(); v++ {
+		h := s.cacheGPU[v]
+		if h < 0 {
+			continue
+		}
+		if int64(v) < f.offsets[h] || int64(v) >= f.offsets[h+1] {
+			t.Fatalf("node %d cached on GPU %d outside its range", v, h)
+		}
+	}
+	if s.AggregateCachedRows() != 800 {
+		t.Errorf("aggregate %d, want 800", s.AggregateCachedRows())
+	}
+}
+
+func TestPartitionedCachesHottestFirst(t *testing.T) {
+	f := build(t, 2)
+	budget := int64(100 * f.d.FeatDim * 4)
+	s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, budget, ByDegree)
+	// Every cached node on a GPU has degree >= every uncached node there.
+	for g := 0; g < 2; g++ {
+		minCached, maxUncached := 1<<30, -1
+		for v := f.offsets[g]; v < f.offsets[g+1]; v++ {
+			deg := f.g.Degree(graph.NodeID(v))
+			if s.cacheGPU[v] == int8(g) {
+				if deg < minCached {
+					minCached = deg
+				}
+			} else if deg > maxUncached {
+				maxUncached = deg
+			}
+		}
+		if minCached < maxUncached {
+			t.Errorf("GPU %d: cached min degree %d < uncached max %d", g, minCached, maxUncached)
+		}
+	}
+}
+
+func TestReplicatedVsPartitionedAggregate(t *testing.T) {
+	// Same per-GPU budget: the partitioned cache holds k times more
+	// distinct rows.
+	f := build(t, 4)
+	budget := int64(150 * f.d.FeatDim * 4)
+	p := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, budget, ByDegree)
+	r := BuildReplicated(f.g, f.feats, f.d.FeatDim, 4, budget, ByDegree)
+	if p.AggregateCachedRows() != 4*r.AggregateCachedRows() {
+		t.Errorf("partitioned %d distinct rows vs replicated %d",
+			p.AggregateCachedRows(), r.AggregateCachedRows())
+	}
+}
+
+func TestLocatePartitioned(t *testing.T) {
+	f := build(t, 4)
+	budget := int64(100 * f.d.FeatDim * 4)
+	s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, budget, ByDegree)
+	seenLocal, seenRemote, seenHost := false, false, false
+	for v := 0; v < f.g.NumNodes(); v++ {
+		p, holder := s.Locate(graph.NodeID(v), 0)
+		switch p {
+		case LocalGPU:
+			seenLocal = true
+			if s.cacheGPU[v] != 0 {
+				t.Fatal("local placement for row not cached on GPU 0")
+			}
+		case RemoteGPU:
+			seenRemote = true
+			if holder == 0 || holder >= 4 {
+				t.Fatalf("bad holder %d", holder)
+			}
+		case HostMemory:
+			seenHost = true
+		}
+	}
+	if !seenLocal || !seenRemote || !seenHost {
+		t.Fatalf("placements not all exercised: %v %v %v", seenLocal, seenRemote, seenHost)
+	}
+}
+
+func TestLocateReplicatedNeverRemote(t *testing.T) {
+	f := build(t, 4)
+	s := BuildReplicated(f.g, f.feats, f.d.FeatDim, 4, int64(100*f.d.FeatDim*4), ByDegree)
+	for v := 0; v < f.g.NumNodes(); v++ {
+		for g := 0; g < 4; g++ {
+			if p, _ := s.Locate(graph.NodeID(v), g); p == RemoteGPU {
+				t.Fatal("replicated cache produced a remote placement")
+			}
+		}
+	}
+}
+
+func TestHostOnlyAlwaysHost(t *testing.T) {
+	f := build(t, 2)
+	s := BuildHostOnly(f.g.NumNodes(), f.feats, f.d.FeatDim, 2)
+	for v := 0; v < 100; v++ {
+		if p, _ := s.Locate(graph.NodeID(v), 0); p != HostMemory {
+			t.Fatal("host-only store cached something")
+		}
+	}
+	if s.AggregateCachedRows() != 0 {
+		t.Fatal("host-only store reports cached rows")
+	}
+}
+
+func TestSplitPartitionsRequest(t *testing.T) {
+	f := build(t, 4)
+	s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, int64(100*f.d.FeatDim*4), ByDegree)
+	var ids []graph.NodeID
+	for v := 0; v < f.g.NumNodes(); v += 3 {
+		ids = append(ids, graph.NodeID(v))
+	}
+	local, remote, host := s.Split(ids, 1)
+	total := len(local) + len(host)
+	for g, r := range remote {
+		if g == 1 && len(r) > 0 {
+			t.Fatal("own GPU listed as remote")
+		}
+		total += len(r)
+	}
+	if total != len(ids) {
+		t.Fatalf("split lost ids: %d of %d", total, len(ids))
+	}
+	for _, v := range local {
+		if p, _ := s.Locate(v, 1); p != LocalGPU {
+			t.Fatal("misclassified local")
+		}
+	}
+	for _, v := range host {
+		if p, _ := s.Locate(v, 1); p != HostMemory {
+			t.Fatal("misclassified host")
+		}
+	}
+}
+
+func TestGatherCopiesRows(t *testing.T) {
+	f := build(t, 2)
+	s := BuildHostOnly(f.g.NumNodes(), f.feats, f.d.FeatDim, 2)
+	ids := []graph.NodeID{5, 0, 17}
+	out := s.Gather(ids)
+	if len(out) != 3*f.d.FeatDim {
+		t.Fatalf("gather size %d", len(out))
+	}
+	for i, v := range ids {
+		row := s.Row(v)
+		for j := 0; j < f.d.FeatDim; j++ {
+			if out[i*f.d.FeatDim+j] != row[j] {
+				t.Fatalf("gather mismatch id %d dim %d", v, j)
+			}
+		}
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	f := build(t, 2)
+	for _, pol := range []Policy{ByDegree, ByPageRank, ByReversePageRank} {
+		scores := Scores(f.g, pol)
+		if len(scores) != f.g.NumNodes() {
+			t.Fatalf("%v: %d scores", pol, len(scores))
+		}
+		var sum float64
+		for _, sc := range scores {
+			if sc < 0 {
+				t.Fatalf("%v: negative score", pol)
+			}
+			sum += sc
+		}
+		if sum == 0 {
+			t.Fatalf("%v: all-zero scores", pol)
+		}
+		s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, int64(50*f.d.FeatDim*4), pol)
+		if s.AggregateCachedRows() != 100 {
+			t.Fatalf("%v: aggregate %d", pol, s.AggregateCachedRows())
+		}
+	}
+}
+
+func TestHotTrafficConcentration(t *testing.T) {
+	// Power-law access: a degree-ranked cache of 20% of rows should cover
+	// well over 20% of neighbour occurrences (the premise of hot caching).
+	f := build(t, 1)
+	budget := int64(f.g.NumNodes()/5) * int64(f.d.FeatDim*4)
+	s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, budget, ByDegree)
+	var hits, total int64
+	for v := 0; v < f.g.NumNodes(); v++ {
+		for _, u := range f.g.Neighbors(graph.NodeID(v)) {
+			total++
+			if p, _ := s.Locate(u, 0); p == LocalGPU {
+				hits++
+			}
+		}
+	}
+	if frac := float64(hits) / float64(total); frac < 0.4 {
+		t.Errorf("20%% cache covers only %.2f of accesses", frac)
+	}
+}
+
+func TestSplitProperty(t *testing.T) {
+	// For random request sets and requesting GPUs, Split is a partition of
+	// the request consistent with Locate.
+	f := build(t, 4)
+	s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, int64(120*f.d.FeatDim*4), ByDegree)
+	if err := quick.Check(func(seed uint64, gRaw uint8) bool {
+		r := rng.New(seed)
+		g := int(gRaw) % 4
+		n := f.g.NumNodes()
+		ids := make([]graph.NodeID, 1+r.Intn(200))
+		for i := range ids {
+			ids[i] = graph.NodeID(r.Intn(n))
+		}
+		local, remote, host := s.Split(ids, g)
+		total := len(local) + len(host)
+		for _, rr := range remote {
+			total += len(rr)
+		}
+		if total != len(ids) {
+			return false
+		}
+		for _, v := range local {
+			if p, _ := s.Locate(v, g); p != LocalGPU {
+				return false
+			}
+		}
+		for holder, rr := range remote {
+			for _, v := range rr {
+				if p, h := s.Locate(v, g); p != RemoteGPU || h != holder {
+					return false
+				}
+			}
+		}
+		for _, v := range host {
+			if p, _ := s.Locate(v, g); p != HostMemory {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroBudgetCachesNothing(t *testing.T) {
+	f := build(t, 2)
+	s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, 0, ByDegree)
+	if s.AggregateCachedRows() != 0 {
+		t.Fatalf("zero budget cached %d rows", s.AggregateCachedRows())
+	}
+	for v := 0; v < 50; v++ {
+		if p, _ := s.Locate(graph.NodeID(v), 0); p != HostMemory {
+			t.Fatal("zero-budget store not host-only in effect")
+		}
+	}
+}
+
+func TestHugeBudgetCachesEverything(t *testing.T) {
+	f := build(t, 2)
+	s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, 1<<40, ByDegree)
+	if int(s.AggregateCachedRows()) != f.g.NumNodes() {
+		t.Fatalf("cached %d of %d rows", s.AggregateCachedRows(), f.g.NumNodes())
+	}
+	for v := 0; v < f.g.NumNodes(); v += 37 {
+		if p, _ := s.Locate(graph.NodeID(v), 1); p == HostMemory {
+			t.Fatal("row left on host despite infinite budget")
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// TrafficClass labels transfers for byte accounting, so experiments can
+// report communication volume per purpose (Figure 1, Figure 11).
+type TrafficClass int
+
+const (
+	// TrafficSample is graph-sampling traffic (frontiers, adjacency data).
+	TrafficSample TrafficClass = iota
+	// TrafficFeature is node-feature loading traffic.
+	TrafficFeature
+	// TrafficGradient is model-gradient allreduce traffic.
+	TrafficGradient
+	// TrafficOther is everything else (seeds, metadata).
+	TrafficOther
+
+	numTrafficClasses
+)
+
+func (c TrafficClass) String() string {
+	switch c {
+	case TrafficSample:
+		return "sample"
+	case TrafficFeature:
+		return "feature"
+	case TrafficGradient:
+		return "gradient"
+	default:
+		return "other"
+	}
+}
+
+// Counters accumulates wire and payload bytes per traffic class.
+type Counters struct {
+	// NVLinkBytes are wire bytes moved over NVLink (relayed hops counted
+	// once per hop, as the hardware would).
+	NVLinkBytes [numTrafficClasses]int64
+	// PCIeBytes are wire bytes over PCIe, including UVA read amplification
+	// (50 bytes on the wire per 32-byte payload request).
+	PCIeBytes [numTrafficClasses]int64
+	// UsefulBytes are the payload bytes the caller asked for.
+	UsefulBytes [numTrafficClasses]int64
+}
+
+// TotalWire returns total wire bytes for a class across both fabrics.
+func (c *Counters) TotalWire(class TrafficClass) int64 {
+	return c.NVLinkBytes[class] + c.PCIeBytes[class]
+}
+
+// TotalAllWire returns total wire bytes across all classes.
+func (c *Counters) TotalAllWire() int64 {
+	var t int64
+	for i := 0; i < int(numTrafficClasses); i++ {
+		t += c.NVLinkBytes[i] + c.PCIeBytes[i]
+	}
+	return t
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// uvaPayload and uvaRequest describe the PCIe read-amplification model from
+// EMOGI: the minimum PCIe read moves 32 payload bytes plus an 18-byte packet
+// header, i.e. 50 wire bytes per request.
+const (
+	uvaPayload = 32
+	uvaRequest = 50
+)
+
+// UVAWireBytes returns the wire bytes needed to read items objects of
+// itemBytes each through UVA (zero-copy) over PCIe.
+func UVAWireBytes(items int64, itemBytes int) int64 {
+	if items <= 0 || itemBytes <= 0 {
+		return 0
+	}
+	reqs := int64((itemBytes + uvaPayload - 1) / uvaPayload)
+	return items * reqs * uvaRequest
+}
+
+// Fabric is the runtime interconnect: one FCFS server per NVLink link and
+// per PCIe switch uplink, plus byte counters. All transfer methods must be
+// called from simulation processes.
+type Fabric struct {
+	Topo     *Topology
+	Counters Counters
+
+	eng       *sim.Engine
+	linkRes   []*sim.Resource // parallel to Topo.Links
+	switchRes []*sim.Resource // per PCIe switch
+}
+
+// NewFabric instantiates the runtime fabric for a topology on an engine.
+func NewFabric(eng *sim.Engine, topo *Topology) *Fabric {
+	f := &Fabric{Topo: topo, eng: eng}
+	f.linkRes = make([]*sim.Resource, len(topo.Links))
+	for i := range f.linkRes {
+		f.linkRes[i] = eng.NewResource(1)
+	}
+	f.switchRes = make([]*sim.Resource, topo.NumSwitches)
+	for i := range f.switchRes {
+		f.switchRes[i] = eng.NewResource(1)
+	}
+	return f
+}
+
+// Transfer moves bytes from GPU src to GPU dst over NVLink, relaying through
+// intermediate GPUs when the pair has no direct link (the paper observes
+// multi-hop NVLink still beats PCIe). src == dst is free. It panics if the
+// GPUs are NVLink-unreachable (cannot happen on DGX-1 with >=2 GPUs).
+func (f *Fabric) Transfer(p *sim.Proc, src, dst int, bytes int64, class TrafficClass) {
+	if src == dst || bytes <= 0 {
+		return
+	}
+	path := f.Topo.Route(src, dst)
+	if path == nil {
+		panic(fmt.Sprintf("hw: no NVLink route %d->%d", src, dst))
+	}
+	cur := src
+	for _, next := range path {
+		li := f.Topo.NVLinkIndex(cur, next)
+		l := f.Topo.Links[li]
+		dur := sim.Time(float64(bytes)/(l.Bandwidth*float64(l.Lanes))) + sim.Time(l.Latency)
+		f.linkRes[li].Use(p, 1, dur)
+		f.Counters.NVLinkBytes[class] += bytes
+		cur = next
+	}
+	f.Counters.UsefulBytes[class] += bytes
+}
+
+// NVLinkTime returns the unloaded transfer duration src->dst for bytes, for
+// cost estimation (no resource contention, no accounting).
+func (f *Fabric) NVLinkTime(src, dst int, bytes int64) sim.Time {
+	if src == dst || bytes <= 0 {
+		return 0
+	}
+	path := f.Topo.Route(src, dst)
+	var total sim.Time
+	cur := src
+	for _, next := range path {
+		l := f.Topo.Links[f.Topo.NVLinkIndex(cur, next)]
+		total += sim.Time(float64(bytes)/(l.Bandwidth*float64(l.Lanes))) + sim.Time(l.Latency)
+		cur = next
+	}
+	return total
+}
+
+// uvaEfficiency is the fraction of peak PCIe bandwidth that irregular
+// zero-copy reads achieve: UVA graph access is latency-bound (many
+// outstanding small requests), reaching roughly a third of the streaming
+// rate on V100-class systems (EMOGI reports similar gaps).
+const uvaEfficiency = 0.35
+
+// UVARead performs zero-copy reads of items objects of itemBytes each from
+// host memory into GPU gpu, paying full read amplification, reduced
+// effective bandwidth, and sharing the GPU's PCIe switch uplink with its
+// neighbour.
+func (f *Fabric) UVARead(p *sim.Proc, gpu int, items int64, itemBytes int, class TrafficClass) {
+	if items <= 0 || itemBytes <= 0 {
+		return
+	}
+	wire := UVAWireBytes(items, itemBytes)
+	sw := f.Topo.SwitchOf[gpu]
+	dur := sim.Time(float64(wire)/(f.Topo.PCIeBandwidth*uvaEfficiency)) + sim.Time(f.Topo.PCIeLatency)
+	f.switchRes[sw].Use(p, 1, dur)
+	f.Counters.PCIeBytes[class] += wire
+	f.Counters.UsefulBytes[class] += items * int64(itemBytes)
+}
+
+// HostDMA performs a bulk, contiguous DMA copy of bytes between host memory
+// and GPU gpu (no read amplification — used for staged copies of assembled
+// mini-batches, as the CPU-sampling baselines do).
+func (f *Fabric) HostDMA(p *sim.Proc, gpu int, bytes int64, class TrafficClass) {
+	if bytes <= 0 {
+		return
+	}
+	sw := f.Topo.SwitchOf[gpu]
+	dur := sim.Time(float64(bytes)/f.Topo.PCIeBandwidth) + sim.Time(f.Topo.PCIeLatency)
+	f.switchRes[sw].Use(p, 1, dur)
+	f.Counters.PCIeBytes[class] += bytes
+	f.Counters.UsefulBytes[class] += bytes
+}

@@ -1,0 +1,420 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTable1AggregateBandwidths(t *testing.T) {
+	// Paper Table 1 (GB/s): PCIe 32/32/64/128, NVLink 0/100/400/1200.
+	want := []struct {
+		gpus   int
+		pcie   float64
+		nvlink float64
+	}{
+		{1, 32e9, 0},
+		{2, 32e9, 100e9},
+		{4, 64e9, 400e9},
+		{8, 128e9, 1200e9},
+	}
+	for _, w := range want {
+		topo := DGX1(w.gpus)
+		if got := topo.AggregatePCIeBandwidth(); got != w.pcie {
+			t.Errorf("%d GPUs: PCIe %g, want %g", w.gpus, got, w.pcie)
+		}
+		if got := topo.AggregateNVLinkBandwidth(); got != w.nvlink {
+			t.Errorf("%d GPUs: NVLink %g, want %g", w.gpus, got, w.nvlink)
+		}
+	}
+}
+
+func TestDGX1LaneCounts(t *testing.T) {
+	topo := DGX1(8)
+	lanesPerGPU := make([]int, 8)
+	for _, l := range topo.Links {
+		lanesPerGPU[l.A] += l.Lanes
+		lanesPerGPU[l.B] += l.Lanes
+	}
+	for g, lanes := range lanesPerGPU {
+		if lanes != 6 {
+			t.Errorf("GPU %d has %d NVLink lanes, want 6 (V100)", g, lanes)
+		}
+	}
+}
+
+func TestDGX1InvalidSize(t *testing.T) {
+	for _, n := range []int{0, 9, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DGX1(%d) did not panic", n)
+				}
+			}()
+			DGX1(n)
+		}()
+	}
+}
+
+func TestRoutingDirectAndMultiHop(t *testing.T) {
+	topo := DGX1(8)
+	// Direct link.
+	if r := topo.Route(0, 1); len(r) != 1 || r[0] != 1 {
+		t.Errorf("route 0->1 = %v, want [1]", r)
+	}
+	// 0 and 5 have no direct link on the cube mesh: must relay via 1 or 4.
+	if topo.NVLinkIndex(0, 5) != -1 {
+		t.Fatal("test premise wrong: 0-5 should have no direct link")
+	}
+	r := topo.Route(0, 5)
+	if len(r) != 2 || r[len(r)-1] != 5 {
+		t.Errorf("route 0->5 = %v, want 2 hops ending at 5", r)
+	}
+	// All pairs reachable.
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			if a != b && topo.Route(a, b) == nil {
+				t.Errorf("no route %d->%d", a, b)
+			}
+		}
+	}
+	// Self route is nil.
+	if topo.Route(3, 3) != nil {
+		t.Error("self route should be nil")
+	}
+}
+
+func TestRoutingDeterministic(t *testing.T) {
+	a, b := DGX1(8), DGX1(8)
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			ra, rb := a.Route(x, y), b.Route(x, y)
+			if len(ra) != len(rb) {
+				t.Fatalf("route %d->%d differs across builds", x, y)
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("route %d->%d differs across builds", x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestUVAWireBytes(t *testing.T) {
+	// 4-byte reads (one adjacency entry): 1 request of 50 wire bytes each.
+	if got := UVAWireBytes(10, 4); got != 500 {
+		t.Errorf("UVAWireBytes(10,4)=%d, want 500", got)
+	}
+	// 512-byte feature row: 16 requests x 50 = 800 wire bytes.
+	if got := UVAWireBytes(1, 512); got != 800 {
+		t.Errorf("UVAWireBytes(1,512)=%d, want 800", got)
+	}
+	// Amplification factor for small reads is large (50/4 = 12.5x).
+	amp := float64(UVAWireBytes(1000, 4)) / (1000 * 4)
+	if amp < 10 {
+		t.Errorf("small-read amplification %.1fx, want >10x", amp)
+	}
+	if UVAWireBytes(0, 4) != 0 || UVAWireBytes(5, 0) != 0 {
+		t.Error("degenerate UVAWireBytes not zero")
+	}
+}
+
+func TestKernelDurationThreadScalingPlateaus(t *testing.T) {
+	// Figure 2: kernel time falls with threads, then plateaus before all
+	// 5120 threads are used (memory-bound floor).
+	spec := V100()
+	const items = 200000
+	t64 := spec.KernelDuration(KernelSample, items, 64)
+	t1024 := spec.KernelDuration(KernelSample, items, 1024)
+	t4096 := spec.KernelDuration(KernelSample, items, 4096)
+	t5120 := spec.KernelDuration(KernelSample, items, 5120)
+	if !(t64 > t1024) {
+		t.Errorf("no speedup 64->1024 threads: %g vs %g", t64, t1024)
+	}
+	if rel := math.Abs(float64(t5120-t4096)) / float64(t4096); rel > 0.02 {
+		t.Errorf("sample kernel still scaling at 4096->5120 threads (%.1f%%), want plateau", rel*100)
+	}
+	// Gather (feature loading) plateaus too (crossover ~1500 threads).
+	g2048 := spec.KernelDuration(KernelGather, 50<<20, 2048)
+	g5120 := spec.KernelDuration(KernelGather, 50<<20, 5120)
+	if rel := math.Abs(float64(g5120-g2048)) / float64(g2048); rel > 0.05 {
+		t.Errorf("gather kernel still scaling past 2048 threads: %g vs %g", g2048, g5120)
+	}
+}
+
+func TestKernelDurationMonotoneInItems(t *testing.T) {
+	spec := V100()
+	prev := sim.Time(0)
+	for _, items := range []int64{0, 1, 100, 10000, 1000000} {
+		d := spec.KernelDuration(KernelCompute, items, 5120)
+		if d < prev {
+			t.Fatalf("duration decreased with more work: %g after %g", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestIdealThreadsWarpAlignedAndBounded(t *testing.T) {
+	spec := V100()
+	for _, items := range []int64{1, 31, 1000, 1 << 20} {
+		for _, kind := range []KernelKind{KernelSample, KernelGather, KernelCompute, KernelComm} {
+			th := spec.IdealThreads(kind, items)
+			if th < 32 || th > spec.Threads {
+				t.Errorf("IdealThreads(%v,%d)=%d out of range", kind, items, th)
+			}
+			if th%32 != 0 {
+				t.Errorf("IdealThreads(%v,%d)=%d not warp aligned", kind, items, th)
+			}
+		}
+	}
+	// Comm kernels stay small.
+	if th := spec.IdealThreads(KernelComm, 1<<30); th > 256 {
+		t.Errorf("comm kernel wants %d threads, should be <=256", th)
+	}
+}
+
+func TestGEMMThroughputCalibration(t *testing.T) {
+	// A 10 GFLOP compute kernel should take ~1-2 ms on a V100-class model
+	// (~10 TFLOP/s effective).
+	spec := V100()
+	d := spec.KernelDuration(KernelCompute, 10e9, spec.Threads)
+	if d < 0.5e-3 || d > 5e-3 {
+		t.Errorf("10 GFLOP kernel took %g s, want ~1-2 ms", d)
+	}
+}
+
+func TestFabricTransferTimeAndAccounting(t *testing.T) {
+	m := NewMachine(8, V100(), XeonE5())
+	var dur sim.Time
+	m.Eng.Go("xfer", func(p *sim.Proc) {
+		start := p.Now()
+		m.Fabric.Transfer(p, 0, 1, 100<<20, TrafficSample)
+		dur = p.Now() - start
+	})
+	if _, err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 100 MiB over a 2-lane 25 GB/s link: ~2.1 ms.
+	want := float64(100<<20)/50e9 + 1.5e-6
+	if math.Abs(float64(dur)-want)/want > 0.01 {
+		t.Errorf("transfer took %g, want ~%g", dur, want)
+	}
+	if m.Fabric.Counters.NVLinkBytes[TrafficSample] != 100<<20 {
+		t.Errorf("NVLink bytes = %d", m.Fabric.Counters.NVLinkBytes[TrafficSample])
+	}
+	if m.Fabric.Counters.UsefulBytes[TrafficSample] != 100<<20 {
+		t.Errorf("useful bytes = %d", m.Fabric.Counters.UsefulBytes[TrafficSample])
+	}
+}
+
+func TestMultiHopCountsPerHop(t *testing.T) {
+	m := NewMachine(8, V100(), XeonE5())
+	m.Eng.Go("xfer", func(p *sim.Proc) {
+		m.Fabric.Transfer(p, 0, 5, 1<<20, TrafficFeature)
+	})
+	if _, err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	hops := len(m.Fabric.Topo.Route(0, 5))
+	if got := m.Fabric.Counters.NVLinkBytes[TrafficFeature]; got != int64(hops)<<20 {
+		t.Errorf("multi-hop wire bytes = %d, want %d (x%d hops)", got, int64(hops)<<20, hops)
+	}
+	if got := m.Fabric.Counters.UsefulBytes[TrafficFeature]; got != 1<<20 {
+		t.Errorf("useful bytes = %d, want %d", got, 1<<20)
+	}
+}
+
+func TestMultiHopNVLinkFasterThanUVA(t *testing.T) {
+	// The paper's observation: reading features from a remote GPU without a
+	// direct link (relayed) still beats UVA reads from host memory.
+	m := NewMachine(8, V100(), XeonE5())
+	const rows, rowBytes = 10000, 512
+	var nvDur, uvaDur sim.Time
+	m.Eng.Go("nv", func(p *sim.Proc) {
+		start := p.Now()
+		m.Fabric.Transfer(p, 0, 5, rows*rowBytes, TrafficFeature)
+		nvDur = p.Now() - start
+	})
+	if _, err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMachine(8, V100(), XeonE5())
+	m2.Eng.Go("uva", func(p *sim.Proc) {
+		start := p.Now()
+		m2.Fabric.UVARead(p, 0, rows, rowBytes, TrafficFeature)
+		uvaDur = p.Now() - start
+	})
+	if _, err := m2.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nvDur >= uvaDur {
+		t.Errorf("multi-hop NVLink (%g) not faster than UVA (%g)", nvDur, uvaDur)
+	}
+}
+
+func TestPCIeSwitchContention(t *testing.T) {
+	// GPUs 0 and 1 share a switch: concurrent UVA reads serialize. GPU 2 is
+	// on another switch and proceeds in parallel.
+	run := func(gpus []int) sim.Time {
+		m := NewMachine(4, V100(), XeonE5())
+		for _, g := range gpus {
+			g := g
+			m.Eng.Go("rd", func(p *sim.Proc) {
+				m.Fabric.UVARead(p, g, 1<<20, 4, TrafficSample)
+			})
+		}
+		end, err := m.Eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	solo := run([]int{0})
+	shared := run([]int{0, 1})
+	separate := run([]int{0, 2})
+	if shared < sim.Time(1.9)*solo {
+		t.Errorf("shared switch: %g, want ~2x solo %g", shared, solo)
+	}
+	if separate > sim.Time(1.1)*solo {
+		t.Errorf("separate switches: %g, want ~solo %g", separate, solo)
+	}
+}
+
+func TestDeviceBusyAccounting(t *testing.T) {
+	m := NewMachine(2, V100(), XeonE5())
+	d := m.GPUs[0]
+	m.Eng.Go("a", func(p *sim.Proc) {
+		d.RunKernel(p, KernelCompute, 1e9)
+		p.Sleep(0.01) // idle gap
+		d.RunKernel(p, KernelCompute, 1e9)
+	})
+	end, err := m.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := d.BusyTime()
+	if busy <= 0 || busy >= end {
+		t.Fatalf("busy=%g end=%g", busy, end)
+	}
+	util := m.Utilization(0, end)
+	if util[0] <= 0 || util[0] >= 1 {
+		t.Errorf("util=%v", util)
+	}
+	if util[1] != 0 {
+		t.Errorf("idle GPU shows util %v", util[1])
+	}
+}
+
+func TestOverlappingKernelsBusyOnce(t *testing.T) {
+	// Two concurrent kernels on one GPU: busy time counts wall coverage,
+	// not kernel-seconds.
+	m := NewMachine(1, V100(), XeonE5())
+	d := m.GPUs[0]
+	for i := 0; i < 2; i++ {
+		m.Eng.Go("k", func(p *sim.Proc) {
+			d.RunKernelThreads(p, KernelCompute, 1e9, 1024)
+		})
+	}
+	end, err := m.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BusyTime() > end {
+		t.Fatalf("busy %g exceeds wall %g", d.BusyTime(), end)
+	}
+}
+
+func TestThreadContentionSerializesWideKernels(t *testing.T) {
+	// Two kernels each wanting all threads must serialize.
+	m := NewMachine(1, V100(), XeonE5())
+	d := m.GPUs[0]
+	single := d.Spec.KernelDuration(KernelCompute, 20e9, d.Spec.Threads)
+	for i := 0; i < 2; i++ {
+		m.Eng.Go("k", func(p *sim.Proc) {
+			d.RunKernelThreads(p, KernelCompute, 20e9, d.Spec.Threads)
+		})
+	}
+	end, err := m.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end < sim.Time(1.9)*single {
+		t.Errorf("wide kernels overlapped: end=%g, single=%g", end, single)
+	}
+}
+
+func TestMallocOverhead(t *testing.T) {
+	m := NewMachine(1, V100(), XeonE5())
+	d := m.GPUs[0]
+	m.Eng.Go("alloc", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			d.Malloc(p)
+		}
+	})
+	end, err := m.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(10 * d.Spec.MallocOverhead)
+	if math.Abs(float64(end-want)) > 1e-12 {
+		t.Errorf("10 mallocs took %g, want %g", end, want)
+	}
+	if d.Mallocs() != 10 {
+		t.Errorf("malloc count %d", d.Mallocs())
+	}
+}
+
+func TestMemoryReserve(t *testing.T) {
+	m := NewMachine(1, V100(), XeonE5())
+	d := m.GPUs[0]
+	if err := d.Reserve(d.Spec.MemBytes - 100); err != nil {
+		t.Fatalf("reserve within budget failed: %v", err)
+	}
+	if err := d.Reserve(200); err == nil {
+		t.Fatal("over-reserve succeeded")
+	}
+	if d.MemFree() != 100 {
+		t.Errorf("MemFree=%d, want 100", d.MemFree())
+	}
+}
+
+func TestHostCoreContention(t *testing.T) {
+	// 8 workers each demanding 16 of 64 cores: two waves.
+	m := NewMachine(1, V100(), XeonE5())
+	for i := 0; i < 8; i++ {
+		m.Eng.Go("cpu", func(p *sim.Proc) {
+			m.Host.Sample(p, 1e6, 16)
+		})
+	}
+	end, err := m.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := 1e6 / (m.Host.Spec.SampleRate * 16)
+	if math.Abs(float64(end)-2*single)/(2*single) > 0.01 {
+		t.Errorf("8x16-core tasks on 64 cores took %g, want ~%g (two waves)", end, 2*single)
+	}
+}
+
+func TestUVAReadSlowerThanIdealDMA(t *testing.T) {
+	// Read amplification: UVA of 4-byte items is much slower than a DMA of
+	// the same payload.
+	m := NewMachine(1, V100(), XeonE5())
+	var uva, dma sim.Time
+	m.Eng.Go("seq", func(p *sim.Proc) {
+		s := p.Now()
+		m.Fabric.UVARead(p, 0, 1<<20, 4, TrafficSample)
+		uva = p.Now() - s
+		s = p.Now()
+		m.Fabric.HostDMA(p, 0, 4<<20, TrafficSample)
+		dma = p.Now() - s
+	})
+	if _, err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if uva < 10*dma {
+		t.Errorf("UVA %g not >>10x DMA %g for 4-byte reads", uva, dma)
+	}
+}

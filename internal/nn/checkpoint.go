@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Checkpointing: models serialise to a small versioned binary format so
+// trained parameters survive across runs (dsptrain -save/-load).
+
+const ckptMagic = "DSPM"
+const ckptVersion = 1
+
+// Save writes the model configuration and parameters to w.
+func (m *Model) Save(dst io.Writer) error {
+	w := bufio.NewWriter(dst)
+	if _, err := w.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	u32 := func(v uint32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		_, err := w.Write(b[:])
+		return err
+	}
+	for _, v := range []uint32{ckptVersion, uint32(m.Cfg.Arch), uint32(m.Cfg.InDim),
+		uint32(m.Cfg.Hidden), uint32(m.Cfg.Classes), uint32(m.Cfg.Layers),
+		uint32(m.ParamCount())} {
+		if err := u32(v); err != nil {
+			return err
+		}
+	}
+	buf := make([]float32, m.ParamCount())
+	m.ParamVector(buf)
+	for _, v := range buf {
+		if err := u32(math.Float32bits(v)); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Load reads a model saved by Save.
+func Load(src io.Reader) (*Model, error) {
+	r := bufio.NewReader(src)
+	head := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	if string(head) != ckptMagic {
+		return nil, fmt.Errorf("nn: bad checkpoint magic %q", head)
+	}
+	u32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	var vals [7]uint32
+	for i := range vals {
+		v, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	if vals[0] != ckptVersion {
+		return nil, fmt.Errorf("nn: unsupported checkpoint version %d", vals[0])
+	}
+	cfg := Config{
+		Arch: Arch(vals[1]), InDim: int(vals[2]), Hidden: int(vals[3]),
+		Classes: int(vals[4]), Layers: int(vals[5]),
+	}
+	if cfg.Layers < 1 || cfg.Layers > 64 || cfg.InDim < 1 || cfg.Classes < 1 {
+		return nil, fmt.Errorf("nn: implausible checkpoint config %+v", cfg)
+	}
+	m := NewModel(cfg, 0)
+	if int(vals[6]) != m.ParamCount() {
+		return nil, fmt.Errorf("nn: checkpoint has %d params, model needs %d", vals[6], m.ParamCount())
+	}
+	buf := make([]float32, m.ParamCount())
+	for i := range buf {
+		v, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		buf[i] = math.Float32frombits(v)
+	}
+	i := 0
+	for _, p := range m.Params {
+		copy(p.W.Data, buf[i:i+len(p.W.Data)])
+		i += len(p.W.Data)
+	}
+	return m, nil
+}
+
+// SaveFile writes a checkpoint to path atomically.
+func (m *Model) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a checkpoint from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/sample"
+)
+
+// GAT support: a single-head graph attention layer (Velickovic et al.,
+// ICLR 2018), the third GNN variant the paper's introduction names. The
+// layer computes, for destination i with sampled neighbours j (self
+// included):
+//
+//	z_v     = x_v @ W
+//	e_ij    = LeakyReLU(aSrc·z_j + aDst·z_i)
+//	alpha_i = softmax_j(e_ij)
+//	h_i     = sum_j alpha_ij * z_j       (ReLU on hidden layers)
+//
+// Attention makes the per-edge compute heavier than GraphSAGE, which is the
+// interesting regime for DSP's communication savings (the inverse of the
+// GCN comparison in Table 5).
+
+const leakySlope = 0.2
+
+// gatCache holds forward intermediates for the backward pass.
+type gatCache struct {
+	block *sample.Block
+	x     *Matrix // layer input (inputNodes x in)
+	z     *Matrix // projected input (inputNodes x out)
+	// Per destination: attention weights over its self+neighbour slots.
+	alpha [][]float32
+	// eRaw are pre-activation attention logits (for LeakyReLU backward).
+	eRaw [][]float32
+	mask []bool
+}
+
+// forwardGAT computes one attention layer.
+func (m *Model) forwardGAT(l int, block *sample.Block, x *Matrix) (*Matrix, *gatCache) {
+	in, out := m.Cfg.dims(l)
+	_ = in
+	c := &gatCache{block: block, x: x}
+	// Project every input node once.
+	c.z = NewMatrix(x.R, out)
+	MatMul(c.z, x, m.wNeigh[l].W)
+	aSrc := m.attSrc[l].W.Data
+	aDst := m.attDst[l].W.Data
+	h := NewMatrix(len(block.Dst), out)
+	c.alpha = make([][]float32, len(block.Dst))
+	c.eRaw = make([][]float32, len(block.Dst))
+	for i := range block.Dst {
+		// Slot 0 is the self edge; slots 1.. are sampled neighbours.
+		n := int(block.SrcPtr[i+1] - block.SrcPtr[i])
+		slots := make([]int32, 0, n+1)
+		slots = append(slots, block.DstLocal[i])
+		slots = append(slots, block.SrcLocal[block.SrcPtr[i]:block.SrcPtr[i+1]]...)
+		e := make([]float32, len(slots))
+		zDstScore := dot(c.z.Row(int(block.DstLocal[i])), aDst)
+		for k, s := range slots {
+			e[k] = leakyReLU(dot(c.z.Row(int(s)), aSrc) + zDstScore)
+		}
+		c.eRaw[i] = e
+		a := softmax(e)
+		c.alpha[i] = a
+		hr := h.Row(i)
+		for k, s := range slots {
+			zr := c.z.Row(int(s))
+			for j := range hr {
+				hr[j] += a[k] * zr[j]
+			}
+		}
+		flops += int64(len(slots)) * int64(out) * 4
+	}
+	AddBiasInPlace(h, m.bias[l].W.Data)
+	if l < m.Cfg.Layers-1 {
+		c.mask = make([]bool, len(h.Data))
+		ReLUInPlace(h, c.mask)
+	}
+	return h, c
+}
+
+// backwardGAT propagates gradients through the attention layer, returning
+// the input gradient.
+func (m *Model) backwardGAT(l int, c *gatCache, dh *Matrix) *Matrix {
+	in, out := m.Cfg.dims(l)
+	block := c.block
+	if c.mask != nil {
+		ReLUBackwardInPlace(dh, c.mask)
+	}
+	bg := m.bias[l].G
+	for i := 0; i < dh.R; i++ {
+		r := dh.Row(i)
+		for j := range r {
+			bg.Data[j] += r[j]
+		}
+	}
+	dz := NewMatrix(c.z.R, out)
+	daSrc := m.attSrc[l].G.Data
+	daDst := m.attDst[l].G.Data
+	aSrc := m.attSrc[l].W.Data
+	aDst := m.attDst[l].W.Data
+	for i := range block.Dst {
+		slots := make([]int32, 0, 1+int(block.SrcPtr[i+1]-block.SrcPtr[i]))
+		slots = append(slots, block.DstLocal[i])
+		slots = append(slots, block.SrcLocal[block.SrcPtr[i]:block.SrcPtr[i+1]]...)
+		a := c.alpha[i]
+		dhr := dh.Row(i)
+		// dh/dz via the weighted sum, and dh/dalpha.
+		dAlpha := make([]float32, len(slots))
+		for k, s := range slots {
+			zr := c.z.Row(int(s))
+			dzr := dz.Row(int(s))
+			var da float32
+			for j := range dhr {
+				dzr[j] += a[k] * dhr[j]
+				da += dhr[j] * zr[j]
+			}
+			dAlpha[k] = da
+		}
+		// Softmax backward: de_k = a_k * (dAlpha_k - sum_j a_j dAlpha_j).
+		var mix float32
+		for k := range a {
+			mix += a[k] * dAlpha[k]
+		}
+		dstLocal := int(block.DstLocal[i])
+		var dDstScore float32
+		for k, s := range slots {
+			de := a[k] * (dAlpha[k] - mix)
+			de *= leakyGrad(c.eRaw[i][k])
+			// e = aSrc·z_s + aDst·z_dst (pre-activation).
+			zr := c.z.Row(int(s))
+			dzr := dz.Row(int(s))
+			for j := range zr {
+				daSrc[j] += de * zr[j]
+				dzr[j] += de * aSrc[j]
+			}
+			dDstScore += de
+		}
+		zd := c.z.Row(dstLocal)
+		dzd := dz.Row(dstLocal)
+		for j := range zd {
+			daDst[j] += dDstScore * zd[j]
+			dzd[j] += dDstScore * aDst[j]
+		}
+		flops += int64(len(slots)) * int64(out) * 8
+	}
+	// z = x @ W.
+	gw := NewMatrix(in, out)
+	MatMulAT(gw, c.x, dz)
+	addInto(m.wNeigh[l].G, gw)
+	dx := NewMatrix(c.x.R, in)
+	MatMulBT(dx, dz, m.wNeigh[l].W)
+	return dx
+}
+
+func dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	flops += int64(2 * len(a))
+	return s
+}
+
+func leakyReLU(x float32) float32 {
+	if x >= 0 {
+		return x
+	}
+	return leakySlope * x
+}
+
+// leakyGrad returns d LeakyReLU(raw)/d raw given the POST-activation value
+// stored in eRaw (sign is preserved by LeakyReLU, so the branch is valid).
+func leakyGrad(post float32) float32 {
+	if post >= 0 {
+		return 1
+	}
+	return leakySlope
+}
+
+func softmax(e []float32) []float32 {
+	maxV := e[0]
+	for _, v := range e {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float32, len(e))
+	var sum float64
+	for i, v := range e {
+		x := math.Exp(float64(v - maxV))
+		out[i] = float32(x)
+		sum += x
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

@@ -1,0 +1,470 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sample"
+)
+
+func TestMatMulCorrect(t *testing.T) {
+	a := &Matrix{R: 2, C: 3, Data: []float32{1, 2, 3, 4, 5, 6}}
+	b := &Matrix{R: 3, C: 2, Data: []float32{7, 8, 9, 10, 11, 12}}
+	out := NewMatrix(2, 2)
+	MatMul(out, a, b)
+	want := []float32{58, 64, 139, 154}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("matmul = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestMatMulTransposesAgree(t *testing.T) {
+	r := rng.New(3)
+	a := NewMatrix(5, 4)
+	b := NewMatrix(5, 6)
+	for i := range a.Data {
+		a.Data[i] = float32(r.NormFloat64())
+	}
+	for i := range b.Data {
+		b.Data[i] = float32(r.NormFloat64())
+	}
+	// aT @ b via MatMulAT == transpose(a) @ b via MatMul.
+	at := NewMatrix(4, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			at.Data[j*5+i] = a.Data[i*4+j]
+		}
+	}
+	want := NewMatrix(4, 6)
+	MatMul(want, at, b)
+	got := NewMatrix(4, 6)
+	MatMulAT(got, a, b)
+	for i := range want.Data {
+		if math.Abs(float64(want.Data[i]-got.Data[i])) > 1e-4 {
+			t.Fatalf("MatMulAT mismatch at %d", i)
+		}
+	}
+	// a @ bT via MatMulBT.
+	bt := NewMatrix(6, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 6; j++ {
+			bt.Data[j*5+i] = b.Data[i*6+j]
+		}
+	}
+	want2 := NewMatrix(4, 5)
+	MatMul(want2, got, bt) // (4x6)@(6x5)
+	got2 := NewMatrix(4, 5)
+	MatMulBT(got2, got, b)
+	for i := range want2.Data {
+		if math.Abs(float64(want2.Data[i]-got2.Data[i])) > 1e-3 {
+			t.Fatalf("MatMulBT mismatch at %d: %v vs %v", i, got2.Data[i], want2.Data[i])
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(4, 2))
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	logits := &Matrix{R: 2, C: 3, Data: []float32{10, 0, 0, 0, 10, 0}}
+	d := NewMatrix(2, 3)
+	loss, correct := SoftmaxCrossEntropy(logits, []int32{0, 1}, d)
+	if correct != 2 {
+		t.Fatalf("correct=%d", correct)
+	}
+	if loss > 0.01 {
+		t.Fatalf("confident correct predictions, loss=%v", loss)
+	}
+	// Gradient rows sum to ~0 (softmax minus one-hot).
+	for i := 0; i < 2; i++ {
+		var s float64
+		for _, v := range d.Row(i) {
+			s += float64(v)
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Fatalf("dlogits row %d sums to %v", i, s)
+		}
+	}
+}
+
+// tinyBatch builds a small deterministic minibatch for gradient checks.
+func tinyBatch(t *testing.T, layers int) (*sample.MiniBatch, []float32, []int32, int) {
+	t.Helper()
+	d := gen.Generate(gen.Config{
+		Name: "t", Nodes: 200, AvgDegree: 8, FeatDim: 5, NumClasses: 3, Seed: 12,
+	})
+	fan := make([]int, layers)
+	for i := range fan {
+		fan[i] = 3
+	}
+	seeds := d.TrainIdx[:6]
+	mb := sample.Reference(d.G, seeds, sample.Config{Fanout: fan}, 9)
+	if err := mb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inputs := mb.InputNodes()
+	feats := make([]float32, len(inputs)*d.FeatDim)
+	for i, v := range inputs {
+		copy(feats[i*d.FeatDim:(i+1)*d.FeatDim], d.Feature(v))
+	}
+	labels := make([]int32, len(seeds))
+	for i, s := range seeds {
+		labels[i] = d.Labels[s]
+	}
+	return mb, feats, labels, d.FeatDim
+}
+
+func gradCheck(t *testing.T, arch Arch) {
+	mb, feats, labels, inDim := tinyBatch(t, 2)
+	cfg := Config{Arch: arch, InDim: inDim, Hidden: 4, Classes: 3, Layers: 2}
+	m := NewModel(cfg, 42)
+	m.ZeroGrads()
+	featsCopy := append([]float32(nil), feats...)
+	m.TrainStep(mb, featsCopy, labels)
+
+	lossAt := func() float64 {
+		f := append([]float32(nil), feats...)
+		loss, _ := m.Evaluate(mb, f, labels)
+		return loss
+	}
+	central := func(p *Param, j int, eps float32) float64 {
+		orig := p.W.Data[j]
+		p.W.Data[j] = orig + eps
+		lp := lossAt()
+		p.W.Data[j] = orig - eps
+		lm := lossAt()
+		p.W.Data[j] = orig
+		return (lp - lm) / (2 * float64(eps))
+	}
+	const eps = 1e-2
+	checked := 0
+	r := rng.New(5)
+	for _, p := range m.Params {
+		for trial := 0; trial < 4; trial++ {
+			j := r.Intn(len(p.W.Data))
+			numeric := central(p, j, eps)
+			analytic := float64(p.G.Data[j])
+			scale := math.Max(math.Abs(numeric), math.Abs(analytic))
+			if scale < 1e-4 {
+				continue // both ~zero
+			}
+			// Richardson consistency: if halving eps moves the estimate a
+			// lot, the loss is not smooth here (a ReLU kink inside the
+			// probe interval) — the comparison is meaningless, skip it.
+			if refined := central(p, j, eps/2); math.Abs(refined-numeric)/scale > 0.05 {
+				continue
+			}
+			if math.Abs(numeric-analytic)/scale > 0.08 {
+				t.Errorf("%s[%d]: numeric %v vs analytic %v", p.Name, j, numeric, analytic)
+			}
+			checked++
+		}
+	}
+	if checked < 8 {
+		t.Fatalf("only %d gradient entries checked", checked)
+	}
+}
+
+func TestGradCheckSAGE(t *testing.T) { gradCheck(t, SAGE) }
+func TestGradCheckGCN(t *testing.T)  { gradCheck(t, GCN) }
+
+func TestTrainingLearns(t *testing.T) {
+	// End-to-end: GraphSAGE on the community dataset should comfortably
+	// beat chance within a few dozen steps.
+	d := gen.Generate(gen.Config{
+		Name: "t", Nodes: 2000, AvgDegree: 10, FeatDim: 16, NumClasses: 5, Seed: 33,
+	})
+	cfg := Config{Arch: SAGE, InDim: 16, Hidden: 32, Classes: 5, Layers: 2}
+	m := NewModel(cfg, 7)
+	opt := NewAdam(0.01)
+	scfg := sample.Config{Fanout: []int{5, 5}}
+	batch := 128
+	gather := func(mb *sample.MiniBatch) ([]float32, []int32) {
+		inputs := mb.InputNodes()
+		feats := make([]float32, len(inputs)*d.FeatDim)
+		for i, v := range inputs {
+			copy(feats[i*d.FeatDim:(i+1)*d.FeatDim], d.Feature(v))
+		}
+		labels := make([]int32, len(mb.Seeds))
+		for i, s := range mb.Seeds {
+			labels[i] = d.Labels[s]
+		}
+		return feats, labels
+	}
+	step := 0
+	for epoch := 0; epoch < 4; epoch++ {
+		for off := 0; off+batch <= len(d.TrainIdx); off += batch {
+			seeds := d.TrainIdx[off : off+batch]
+			mb := sample.Reference(d.G, seeds, scfg, rng.Mix(1, uint64(step)))
+			feats, labels := gather(mb)
+			m.ZeroGrads()
+			m.TrainStep(mb, feats, labels)
+			opt.Step(m)
+			step++
+		}
+	}
+	// Validation accuracy.
+	val := d.ValIdx[:200]
+	mb := sample.Reference(d.G, val, scfg, 999)
+	feats, labels := gather(mb)
+	_, correct := m.Evaluate(mb, feats, labels)
+	acc := float64(correct) / float64(len(val))
+	if acc < 0.6 {
+		t.Fatalf("validation accuracy %.2f after training, want >0.6 (chance 0.2)", acc)
+	}
+}
+
+func TestGCNFlopsLighterThanSAGE(t *testing.T) {
+	mb, _, _, inDim := tinyBatch(t, 3)
+	sage := NominalFlops(Config{Arch: SAGE, InDim: inDim, Hidden: 64, Classes: 3, Layers: 3}, mb)
+	gcn := NominalFlops(Config{Arch: GCN, InDim: inDim, Hidden: 64, Classes: 3, Layers: 3}, mb)
+	if gcn >= sage {
+		t.Fatalf("GCN flops %d not below GraphSAGE %d", gcn, sage)
+	}
+}
+
+func TestNominalFlopsTracksRealFlops(t *testing.T) {
+	mb, feats, labels, inDim := tinyBatch(t, 2)
+	cfg := Config{Arch: SAGE, InDim: inDim, Hidden: 8, Classes: 3, Layers: 2}
+	m := NewModel(cfg, 1)
+	m.ZeroGrads()
+	_, _, real := m.TrainStep(mb, feats, labels)
+	nominal := NominalFlops(cfg, mb)
+	ratio := float64(real) / float64(nominal)
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Fatalf("nominal flops %d vs real %d (ratio %.2f) — cost model off", nominal, real, ratio)
+	}
+}
+
+func TestGradVectorRoundTrip(t *testing.T) {
+	cfg := Config{Arch: SAGE, InDim: 4, Hidden: 4, Classes: 2, Layers: 2}
+	m := NewModel(cfg, 1)
+	n := m.ParamCount()
+	buf := make([]float32, n)
+	for i := range buf {
+		buf[i] = float32(i)
+	}
+	m.SetGradVector(buf)
+	out := make([]float32, n)
+	m.GradVector(out)
+	for i := range buf {
+		if out[i] != buf[i] {
+			t.Fatalf("grad vector round trip broken at %d", i)
+		}
+	}
+}
+
+func TestModelsDeterministic(t *testing.T) {
+	cfg := Config{Arch: GCN, InDim: 4, Hidden: 4, Classes: 2, Layers: 2}
+	a, b := NewModel(cfg, 5), NewModel(cfg, 5)
+	pa := make([]float32, a.ParamCount())
+	pb := make([]float32, b.ParamCount())
+	a.ParamVector(pa)
+	b.ParamVector(pb)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed, different init")
+		}
+	}
+}
+
+func TestSGDMomentumMoves(t *testing.T) {
+	cfg := Config{Arch: GCN, InDim: 2, Hidden: 2, Classes: 2, Layers: 1}
+	m := NewModel(cfg, 1)
+	before := make([]float32, m.ParamCount())
+	m.ParamVector(before)
+	g := make([]float32, m.ParamCount())
+	for i := range g {
+		g[i] = 1
+	}
+	opt := NewSGD(0.1, 0.9)
+	m.SetGradVector(g)
+	opt.Step(m)
+	opt.Step(m)
+	after := make([]float32, m.ParamCount())
+	m.ParamVector(after)
+	// Two steps with momentum: delta = 0.1*(1) + 0.1*(1.9) = 0.29.
+	for i := range after {
+		if math.Abs(float64(before[i]-after[i])-0.29) > 1e-5 {
+			t.Fatalf("momentum update wrong: delta %v", before[i]-after[i])
+		}
+	}
+}
+
+func TestAdamReducesLossFast(t *testing.T) {
+	// Single-parameter sanity: Adam drives a quadratic toward zero.
+	cfg := Config{Arch: GCN, InDim: 1, Hidden: 1, Classes: 2, Layers: 1}
+	m := NewModel(cfg, 2)
+	opt := NewAdam(0.05)
+	// Fake gradient = parameter value (minimising 0.5*w^2).
+	for it := 0; it < 200; it++ {
+		for _, p := range m.Params {
+			copy(p.G.Data, p.W.Data)
+		}
+		opt.Step(m)
+	}
+	v := make([]float32, m.ParamCount())
+	m.ParamVector(v)
+	for i, x := range v {
+		if math.Abs(float64(x)) > 0.05 {
+			t.Fatalf("param %d did not converge: %v", i, x)
+		}
+	}
+}
+
+func TestEmptySeedBatchSafe(t *testing.T) {
+	d := gen.Generate(gen.Config{
+		Name: "t", Nodes: 100, AvgDegree: 6, FeatDim: 3, NumClasses: 2, Seed: 8,
+	})
+	mb := sample.Reference(d.G, []graph.NodeID{}, sample.Config{Fanout: []int{2}}, 1)
+	m := NewModel(Config{Arch: SAGE, InDim: 3, Hidden: 2, Classes: 2, Layers: 1}, 1)
+	m.ZeroGrads()
+	loss, correct, _ := m.TrainStep(mb, nil, nil)
+	if loss != 0 || correct != 0 {
+		t.Fatalf("empty batch: loss=%v correct=%d", loss, correct)
+	}
+}
+
+func TestGradCheckGAT(t *testing.T) { gradCheck(t, GAT) }
+
+func TestGATTrainingLearns(t *testing.T) {
+	d := gen.Generate(gen.Config{
+		Name: "gat", Nodes: 1500, AvgDegree: 10, FeatDim: 12, NumClasses: 4, Seed: 55,
+	})
+	cfg := Config{Arch: GAT, InDim: 12, Hidden: 16, Classes: 4, Layers: 2}
+	m := NewModel(cfg, 3)
+	opt := NewAdam(0.01)
+	scfg := sample.Config{Fanout: []int{5, 5}}
+	step := 0
+	for epoch := 0; epoch < 5; epoch++ {
+		for off := 0; off+64 <= len(d.TrainIdx); off += 64 {
+			seeds := d.TrainIdx[off : off+64]
+			mb := sample.Reference(d.G, seeds, scfg, rng.Mix(2, uint64(step)))
+			inputs := mb.InputNodes()
+			feats := make([]float32, len(inputs)*d.FeatDim)
+			for i, v := range inputs {
+				copy(feats[i*d.FeatDim:(i+1)*d.FeatDim], d.Feature(v))
+			}
+			labels := make([]int32, len(seeds))
+			for i, s := range seeds {
+				labels[i] = d.Labels[s]
+			}
+			m.ZeroGrads()
+			m.TrainStep(mb, feats, labels)
+			opt.Step(m)
+			step++
+		}
+	}
+	val := d.ValIdx[:150]
+	mb := sample.Reference(d.G, val, scfg, 77)
+	inputs := mb.InputNodes()
+	feats := make([]float32, len(inputs)*d.FeatDim)
+	for i, v := range inputs {
+		copy(feats[i*d.FeatDim:(i+1)*d.FeatDim], d.Feature(v))
+	}
+	labels := make([]int32, len(val))
+	for i, s := range val {
+		labels[i] = d.Labels[s]
+	}
+	_, correct := m.Evaluate(mb, feats, labels)
+	if acc := float64(correct) / float64(len(val)); acc < 0.5 {
+		t.Fatalf("GAT validation accuracy %.2f, want >0.5 (chance 0.25)", acc)
+	}
+}
+
+func TestGATHeavierThanSAGE(t *testing.T) {
+	mb, _, _, inDim := tinyBatch(t, 2)
+	sage := NominalFlops(Config{Arch: SAGE, InDim: inDim, Hidden: 64, Classes: 3, Layers: 2}, mb)
+	gat := NominalFlops(Config{Arch: GAT, InDim: inDim, Hidden: 64, Classes: 3, Layers: 2}, mb)
+	if gat <= sage {
+		t.Fatalf("GAT nominal flops %d not above GraphSAGE %d (projection covers all input nodes)", gat, sage)
+	}
+}
+
+func TestGATAttentionWeightsNormalized(t *testing.T) {
+	mb, feats, _, inDim := tinyBatch(t, 1)
+	cfg := Config{Arch: GAT, InDim: inDim, Hidden: 4, Classes: 3, Layers: 1}
+	m := NewModel(cfg, 9)
+	_, caches := m.Forward(mb, feats)
+	gc := caches[0].gat
+	if gc == nil {
+		t.Fatal("no GAT cache")
+	}
+	for i, a := range gc.alpha {
+		var sum float64
+		for _, v := range a {
+			if v < 0 {
+				t.Fatalf("negative attention weight at dst %d", i)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("attention weights at dst %d sum to %v", i, sum)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := Config{Arch: GAT, InDim: 7, Hidden: 5, Classes: 3, Layers: 2}
+	m := NewModel(cfg, 77)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cfg != cfg {
+		t.Fatalf("config %+v, want %+v", got.Cfg, cfg)
+	}
+	a := make([]float32, m.ParamCount())
+	b := make([]float32, got.ParamCount())
+	m.ParamVector(a)
+	got.ParamVector(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("param %d differs", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("LOL"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte("DSPM\x63\x00\x00\x00"))); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestCheckpointPredictionsSurvive(t *testing.T) {
+	mb, feats, labels, inDim := tinyBatch(t, 2)
+	cfg := Config{Arch: SAGE, InDim: inDim, Hidden: 8, Classes: 3, Layers: 2}
+	m := NewModel(cfg, 5)
+	lossA, correctA := m.Evaluate(mb, append([]float32(nil), feats...), labels)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossB, correctB := got.Evaluate(mb, append([]float32(nil), feats...), labels)
+	if lossA != lossB || correctA != correctB {
+		t.Fatalf("predictions changed: %v/%d vs %v/%d", lossA, correctA, lossB, correctB)
+	}
+}

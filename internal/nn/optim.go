@@ -1,0 +1,86 @@
+package nn
+
+import "math"
+
+// Optimizer updates model parameters from accumulated gradients.
+type Optimizer interface {
+	// Step applies the current gradients (already averaged across replicas)
+	// and advances the optimizer state.
+	Step(m *Model)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity [][]float32
+}
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(m *Model) {
+	if o.velocity == nil && o.Momentum != 0 {
+		o.velocity = make([][]float32, len(m.Params))
+		for i, p := range m.Params {
+			o.velocity[i] = make([]float32, len(p.W.Data))
+		}
+	}
+	lr := float32(o.LR)
+	mu := float32(o.Momentum)
+	for i, p := range m.Params {
+		if o.Momentum == 0 {
+			for j := range p.W.Data {
+				p.W.Data[j] -= lr * p.G.Data[j]
+			}
+			continue
+		}
+		v := o.velocity[i]
+		for j := range p.W.Data {
+			v[j] = mu*v[j] + p.G.Data[j]
+			p.W.Data[j] -= lr * v[j]
+		}
+	}
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m1, m2                [][]float32
+}
+
+// NewAdam creates an Adam optimizer with standard defaults for unset betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(m *Model) {
+	if o.m1 == nil {
+		o.m1 = make([][]float32, len(m.Params))
+		o.m2 = make([][]float32, len(m.Params))
+		for i, p := range m.Params {
+			o.m1[i] = make([]float32, len(p.W.Data))
+			o.m2[i] = make([]float32, len(p.W.Data))
+		}
+	}
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	b1, b2 := float32(o.Beta1), float32(o.Beta2)
+	for i, p := range m.Params {
+		m1, m2 := o.m1[i], o.m2[i]
+		for j := range p.W.Data {
+			g := p.G.Data[j]
+			m1[j] = b1*m1[j] + (1-b1)*g
+			m2[j] = b2*m2[j] + (1-b2)*g*g
+			mh := float64(m1[j]) / c1
+			vh := float64(m2[j]) / c2
+			p.W.Data[j] -= float32(o.LR * mh / (math.Sqrt(vh) + o.Eps))
+		}
+	}
+}

@@ -1,0 +1,507 @@
+// Package partition implements graph partitioning for DSP's data layout.
+//
+// The paper partitions the graph topology into well-connected patches with
+// METIS, one patch per GPU, so that most adjacency-list accesses during
+// collective sampling are local. This package provides a METIS-style
+// multilevel k-way partitioner (heavy-edge-matching coarsening, greedy
+// growing initial partition, FM-style boundary refinement during
+// uncoarsening) plus a hash partitioner used as the locality-free control in
+// the ablation benchmarks, and the renumbering that gives every patch a
+// consecutive global-id range (making ownership lookup a range check).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Result is a k-way node assignment.
+type Result struct {
+	K     int
+	Parts []int32 // Parts[v] in [0,K)
+}
+
+// Validate checks the assignment covers every node with a valid part.
+func (r *Result) Validate(n int) error {
+	if len(r.Parts) != n {
+		return fmt.Errorf("partition: %d assignments for %d nodes", len(r.Parts), n)
+	}
+	for v, p := range r.Parts {
+		if p < 0 || int(p) >= r.K {
+			return fmt.Errorf("partition: node %d in part %d of %d", v, p, r.K)
+		}
+	}
+	return nil
+}
+
+// PartSizes returns node counts per part.
+func (r *Result) PartSizes() []int {
+	sizes := make([]int, r.K)
+	for _, p := range r.Parts {
+		sizes[p]++
+	}
+	return sizes
+}
+
+// Imbalance returns max part size over ideal size.
+func (r *Result) Imbalance() float64 {
+	sizes := r.PartSizes()
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	ideal := float64(len(r.Parts)) / float64(r.K)
+	return float64(maxSize) / ideal
+}
+
+// EdgeCut returns the number of adjacency entries of g whose endpoint lives
+// in a different part, and the fraction of all entries.
+func EdgeCut(g *graph.CSR, r *Result) (int64, float64) {
+	var cut int64
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		pv := r.Parts[v]
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if r.Parts[u] != pv {
+				cut++
+			}
+		}
+	}
+	total := g.NumEdges()
+	if total == 0 {
+		return 0, 0
+	}
+	return cut, float64(cut) / float64(total)
+}
+
+// Hash assigns node v to part v mod k — the locality-free baseline.
+func Hash(g *graph.CSR, k int) *Result {
+	n := g.NumNodes()
+	r := &Result{K: k, Parts: make([]int32, n)}
+	for v := 0; v < n; v++ {
+		r.Parts[v] = int32(v % k)
+	}
+	return r
+}
+
+// maxImbalance is the balance constraint of refinement (METIS default ~1.03;
+// we allow a little more because patches must also balance feature shards).
+const maxImbalance = 1.05
+
+// Metis computes a k-way partition with a multilevel scheme. It is
+// deterministic for a given (graph, k, seed).
+func Metis(g *graph.CSR, k int, seed uint64) *Result {
+	n := g.NumNodes()
+	if k <= 0 {
+		panic("partition: k must be positive")
+	}
+	if k == 1 {
+		return &Result{K: 1, Parts: make([]int32, n)}
+	}
+	r := rng.New(seed)
+	w := buildWork(g)
+
+	// Coarsening phase.
+	var levels []*workGraph
+	var maps [][]int32 // maps[i][v] = coarse id of v at level i+1
+	cur := w
+	coarsenTarget := 30 * k
+	if coarsenTarget < 256 {
+		coarsenTarget = 256
+	}
+	for cur.n > coarsenTarget {
+		cmap, coarse := cur.coarsen(r)
+		if coarse.n >= cur.n*95/100 {
+			break // diminishing returns
+		}
+		levels = append(levels, cur)
+		maps = append(maps, cmap)
+		cur = coarse
+	}
+
+	// Initial partition on the coarsest graph.
+	parts := cur.greedyGrow(k, r)
+	cur.refine(parts, k, 8, r)
+
+	// Uncoarsening with refinement.
+	for i := len(levels) - 1; i >= 0; i-- {
+		fine := levels[i]
+		cmap := maps[i]
+		fineParts := make([]int32, fine.n)
+		for v := 0; v < fine.n; v++ {
+			fineParts[v] = parts[cmap[v]]
+		}
+		parts = fineParts
+		fine.refine(parts, k, 4, r)
+	}
+	return &Result{K: k, Parts: parts}
+}
+
+// workGraph is the symmetrized, weighted graph the partitioner operates on.
+type workGraph struct {
+	n      int
+	indptr []int64
+	adj    []int32
+	ew     []int64 // edge weights, aligned with adj
+	nw     []int64 // node weights
+	totalW int64
+}
+
+// buildWork symmetrizes g (union of in/out edges), deduplicates multi-edges
+// into weights and drops self-loops.
+func buildWork(g *graph.CSR) *workGraph {
+	n := g.NumNodes()
+	// Emit both directions of every adjacency entry.
+	type rec struct{ u, v int32 }
+	m := len(g.Indices)
+	recs := make([]rec, 0, 2*m)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if int(u) == v {
+				continue
+			}
+			recs = append(recs, rec{int32(v), u})
+			recs = append(recs, rec{u, int32(v)})
+		}
+	}
+	// Bucket by u (counting sort) then sort each bucket by v and merge.
+	counts := make([]int64, n+1)
+	for _, e := range recs {
+		counts[e.u+1]++
+	}
+	for i := 1; i <= n; i++ {
+		counts[i] += counts[i-1]
+	}
+	bucketed := make([]int32, len(recs))
+	cursor := make([]int64, n)
+	copy(cursor, counts[:n])
+	for _, e := range recs {
+		bucketed[cursor[e.u]] = e.v
+		cursor[e.u]++
+	}
+	w := &workGraph{n: n, nw: make([]int64, n)}
+	w.indptr = make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		w.nw[v] = 1
+		bucket := bucketed[counts[v]:counts[v+1]]
+		sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+		for i := 0; i < len(bucket); {
+			j := i
+			for j < len(bucket) && bucket[j] == bucket[i] {
+				j++
+			}
+			w.adj = append(w.adj, bucket[i])
+			w.ew = append(w.ew, int64(j-i))
+			i = j
+		}
+		w.indptr[v+1] = int64(len(w.adj))
+	}
+	w.totalW = int64(n)
+	return w
+}
+
+// coarsen contracts a heavy-edge matching; returns the fine->coarse map and
+// the coarse graph.
+func (w *workGraph) coarsen(r *rng.RNG) ([]int32, *workGraph) {
+	match := make([]int32, w.n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := r.Perm(w.n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int64 = -1
+		for i := w.indptr[v]; i < w.indptr[v+1]; i++ {
+			u := w.adj[i]
+			if match[u] >= 0 || u == v {
+				continue
+			}
+			if w.ew[i] > bestW {
+				bestW = w.ew[i]
+				best = u
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	// Assign coarse ids.
+	cmap := make([]int32, w.n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var cn int32
+	for v := 0; v < w.n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = cn
+		m := match[v]
+		if int(m) != v && cmap[m] < 0 {
+			cmap[m] = cn
+		}
+		cn++
+	}
+	// Build coarse graph: aggregate edges between coarse nodes.
+	coarse := &workGraph{n: int(cn), nw: make([]int64, cn)}
+	for v := 0; v < w.n; v++ {
+		coarse.nw[cmap[v]] += w.nw[v]
+	}
+	coarse.totalW = w.totalW
+	// Bucket edges by coarse source.
+	type edge struct {
+		u, v int32
+		wt   int64
+	}
+	edges := make([]edge, 0, len(w.adj))
+	for v := 0; v < w.n; v++ {
+		cv := cmap[v]
+		for i := w.indptr[v]; i < w.indptr[v+1]; i++ {
+			cu := cmap[w.adj[i]]
+			if cu == cv {
+				continue
+			}
+			edges = append(edges, edge{cv, cu, w.ew[i]})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	coarse.indptr = make([]int64, cn+1)
+	idx := 0
+	for v := int32(0); v < cn; v++ {
+		for idx < len(edges) && edges[idx].u == v {
+			j := idx
+			var sum int64
+			for j < len(edges) && edges[j].u == v && edges[j].v == edges[idx].v {
+				sum += edges[j].wt
+				j++
+			}
+			coarse.adj = append(coarse.adj, edges[idx].v)
+			coarse.ew = append(coarse.ew, sum)
+			idx = j
+		}
+		coarse.indptr[v+1] = int64(len(coarse.adj))
+	}
+	return cmap, coarse
+}
+
+// greedyGrow produces an initial k-way partition by growing connected
+// regions up to the balance target.
+func (w *workGraph) greedyGrow(k int, r *rng.RNG) []int32 {
+	parts := make([]int32, w.n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	target := w.totalW / int64(k)
+	assigned := 0
+	for p := 0; p < k-1; p++ {
+		// Seed: random unassigned node.
+		var seedNode int32 = -1
+		for tries := 0; tries < 64 && seedNode < 0; tries++ {
+			c := int32(r.Intn(w.n))
+			if parts[c] < 0 {
+				seedNode = c
+			}
+		}
+		if seedNode < 0 {
+			for v := 0; v < w.n; v++ {
+				if parts[v] < 0 {
+					seedNode = int32(v)
+					break
+				}
+			}
+		}
+		if seedNode < 0 {
+			break
+		}
+		// Grow by max connectivity to the region (simple frontier scan).
+		var regionW int64
+		parts[seedNode] = int32(p)
+		regionW += w.nw[seedNode]
+		assigned++
+		gain := map[int32]int64{}
+		addNeighbors := func(v int32) {
+			for i := w.indptr[v]; i < w.indptr[v+1]; i++ {
+				u := w.adj[i]
+				if parts[u] < 0 {
+					gain[u] += w.ew[i]
+				}
+			}
+		}
+		addNeighbors(seedNode)
+		for regionW < target && assigned < w.n {
+			// Pick the unassigned node with max gain (deterministic
+			// tie-break on id).
+			var best int32 = -1
+			var bestG int64 = -1
+			for u, g := range gain {
+				if g > bestG || (g == bestG && (best < 0 || u < best)) {
+					best, bestG = u, g
+				}
+			}
+			if best < 0 {
+				// Region is disconnected from the rest: jump to any
+				// unassigned node.
+				for v := 0; v < w.n; v++ {
+					if parts[v] < 0 {
+						best = int32(v)
+						break
+					}
+				}
+				if best < 0 {
+					break
+				}
+			}
+			delete(gain, best)
+			parts[best] = int32(p)
+			regionW += w.nw[best]
+			assigned++
+			addNeighbors(best)
+		}
+	}
+	// Remainder goes to the last part.
+	for v := 0; v < w.n; v++ {
+		if parts[v] < 0 {
+			parts[v] = int32(k - 1)
+		}
+	}
+	return parts
+}
+
+// refine runs FM-style greedy boundary passes: move a node to the
+// neighbouring part with the highest positive gain, subject to the balance
+// constraint.
+func (w *workGraph) refine(parts []int32, k int, passes int, r *rng.RNG) {
+	partW := make([]int64, k)
+	for v := 0; v < w.n; v++ {
+		partW[parts[v]] += w.nw[v]
+	}
+	limit := int64(float64(w.totalW) / float64(k) * maxImbalance)
+	conn := make([]int64, k) // scratch: connectivity of v to each part
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		order := r.Perm(w.n)
+		for _, vi := range order {
+			v := int32(vi)
+			pv := parts[v]
+			// Compute connectivity to each part; skip interior nodes fast.
+			boundary := false
+			for i := w.indptr[v]; i < w.indptr[v+1]; i++ {
+				if parts[w.adj[i]] != pv {
+					boundary = true
+					break
+				}
+			}
+			if !boundary {
+				continue
+			}
+			for p := range conn {
+				conn[p] = 0
+			}
+			for i := w.indptr[v]; i < w.indptr[v+1]; i++ {
+				conn[parts[w.adj[i]]] += w.ew[i]
+			}
+			bestP := pv
+			bestGain := int64(0)
+			for p := 0; p < k; p++ {
+				if int32(p) == pv {
+					continue
+				}
+				if partW[p]+w.nw[v] > limit {
+					continue
+				}
+				gain := conn[p] - conn[pv]
+				if gain > bestGain || (gain == bestGain && gain > 0 && partW[p] < partW[bestP]) {
+					bestGain = gain
+					bestP = int32(p)
+				}
+			}
+			if bestP != pv && bestGain > 0 {
+				partW[pv] -= w.nw[v]
+				partW[bestP] += w.nw[v]
+				parts[v] = bestP
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	w.rebalance(parts, k, partW, limit, r)
+}
+
+// rebalance forcibly empties overweight parts: boundary nodes of any part
+// above the balance limit move to their best-connected underweight part,
+// accepting negative gain (gain-driven refinement alone cannot repair a
+// badly imbalanced initial partition). At the finest level node weights are
+// 1, so the limit is always achievable.
+func (w *workGraph) rebalance(parts []int32, k int, partW []int64, limit int64, r *rng.RNG) {
+	conn := make([]int64, k)
+	for pass := 0; pass < 8; pass++ {
+		over := false
+		for p := 0; p < k; p++ {
+			if partW[p] > limit {
+				over = true
+			}
+		}
+		if !over {
+			return
+		}
+		moved := 0
+		order := r.Perm(w.n)
+		for _, vi := range order {
+			v := int32(vi)
+			pv := parts[v]
+			if partW[pv] <= limit {
+				continue
+			}
+			for p := range conn {
+				conn[p] = 0
+			}
+			for i := w.indptr[v]; i < w.indptr[v+1]; i++ {
+				conn[parts[w.adj[i]]] += w.ew[i]
+			}
+			best := int32(-1)
+			var bestKey int64 = -1 << 62
+			for p := 0; p < k; p++ {
+				if int32(p) == pv || partW[p]+w.nw[v] > limit {
+					continue
+				}
+				// Prefer connectivity, then lighter parts.
+				key := conn[p]*1000 - partW[p]
+				if key > bestKey {
+					bestKey = key
+					best = int32(p)
+				}
+			}
+			if best >= 0 {
+				partW[pv] -= w.nw[v]
+				partW[best] += w.nw[v]
+				parts[v] = best
+				moved++
+				if partW[pv] <= limit {
+					continue
+				}
+			}
+		}
+		if moved == 0 {
+			return
+		}
+	}
+}

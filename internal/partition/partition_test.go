@@ -1,0 +1,234 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func testGraph() *gen.Dataset {
+	return gen.Generate(gen.Config{
+		Name: "t", Nodes: 4000, AvgDegree: 16, FeatDim: 4,
+		NumClasses: 8, Seed: 7,
+	})
+}
+
+func TestHashPartitionCoversAllParts(t *testing.T) {
+	d := testGraph()
+	r := Hash(d.G, 4)
+	if err := r.Validate(d.G.NumNodes()); err != nil {
+		t.Fatal(err)
+	}
+	sizes := r.PartSizes()
+	for p, s := range sizes {
+		if s == 0 {
+			t.Errorf("part %d empty", p)
+		}
+	}
+	if r.Imbalance() > 1.01 {
+		t.Errorf("hash imbalance %v", r.Imbalance())
+	}
+}
+
+func TestMetisValidAndBalanced(t *testing.T) {
+	d := testGraph()
+	for _, k := range []int{2, 4, 8} {
+		r := Metis(d.G, k, 1)
+		if err := r.Validate(d.G.NumNodes()); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if imb := r.Imbalance(); imb > 1.10 {
+			t.Errorf("k=%d imbalance %.3f > 1.10", k, imb)
+		}
+	}
+}
+
+func TestMetisBeatsHashOnEdgeCut(t *testing.T) {
+	// The whole point of METIS-style partitioning: far fewer cross-patch
+	// edges on a community graph than hash partitioning.
+	d := testGraph()
+	for _, k := range []int{2, 4, 8} {
+		m := Metis(d.G, k, 1)
+		h := Hash(d.G, k)
+		_, mcut := EdgeCut(d.G, m)
+		_, hcut := EdgeCut(d.G, h)
+		if mcut > 0.7*hcut {
+			t.Errorf("k=%d: metis cut %.3f not clearly better than hash cut %.3f", k, mcut, hcut)
+		}
+	}
+}
+
+func TestMetisDeterministic(t *testing.T) {
+	d := testGraph()
+	a := Metis(d.G, 4, 3)
+	b := Metis(d.G, 4, 3)
+	for v := range a.Parts {
+		if a.Parts[v] != b.Parts[v] {
+			t.Fatalf("nondeterministic at node %d", v)
+		}
+	}
+}
+
+func TestMetisK1(t *testing.T) {
+	d := testGraph()
+	r := Metis(d.G, 1, 0)
+	for _, p := range r.Parts {
+		if p != 0 {
+			t.Fatal("k=1 must assign everything to part 0")
+		}
+	}
+}
+
+func TestMetisTinyGraph(t *testing.T) {
+	// Smaller than the coarsening target: straight to initial partition.
+	g := graph.FromEdges(6,
+		[]graph.NodeID{0, 1, 2, 3, 4, 5, 0, 3},
+		[]graph.NodeID{1, 0, 3, 2, 5, 4, 2, 5})
+	r := Metis(g, 2, 0)
+	if err := r.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	sizes := r.PartSizes()
+	if sizes[0] == 0 || sizes[1] == 0 {
+		t.Fatalf("degenerate split %v", sizes)
+	}
+}
+
+func TestRenumberingBijection(t *testing.T) {
+	d := testGraph()
+	res := Metis(d.G, 4, 1)
+	r := BuildRenumbering(res)
+	if err := quick.Check(func(raw uint32) bool {
+		v := graph.NodeID(int(raw) % d.G.NumNodes())
+		return r.NewID[r.OldID[v]] == v && r.OldID[r.NewID[v]] == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenumberingConsecutiveRanges(t *testing.T) {
+	d := testGraph()
+	res := Metis(d.G, 4, 1)
+	r := BuildRenumbering(res)
+	if r.Offsets[0] != 0 || r.Offsets[4] != int64(d.G.NumNodes()) {
+		t.Fatalf("offsets %v", r.Offsets)
+	}
+	// Every node's owner under renumbering equals its original part.
+	for old, p := range res.Parts {
+		nid := r.NewID[old]
+		if r.Owner(nid) != int(p) {
+			t.Fatalf("node %d: owner %d, part %d", old, r.Owner(nid), p)
+		}
+	}
+	// Ranges are exactly the part sizes.
+	sizes := res.PartSizes()
+	for p := 0; p < 4; p++ {
+		lo, hi := r.OwnedRange(p)
+		if int(hi-lo) != sizes[p] {
+			t.Fatalf("part %d range size %d, want %d", p, hi-lo, sizes[p])
+		}
+	}
+}
+
+func TestApplyToGraphPreservesStructure(t *testing.T) {
+	d := testGraph()
+	res := Metis(d.G, 4, 1)
+	r := BuildRenumbering(res)
+	ng := r.ApplyToGraph(d.G)
+	if err := ng.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ng.NumEdges() != d.G.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+	// Spot-check: adjacency of new node nid equals remapped adjacency of
+	// the old node.
+	rr := rng.New(4)
+	for trial := 0; trial < 100; trial++ {
+		nid := graph.NodeID(rr.Intn(ng.NumNodes()))
+		old := r.OldID[nid]
+		a := ng.Neighbors(nid)
+		b := d.G.Neighbors(old)
+		if len(a) != len(b) {
+			t.Fatalf("degree mismatch at %d", nid)
+		}
+		for i := range a {
+			if a[i] != r.NewID[b[i]] {
+				t.Fatalf("adjacency mismatch at %d[%d]", nid, i)
+			}
+		}
+	}
+}
+
+func TestApplyToFeaturesAndLabels(t *testing.T) {
+	d := testGraph()
+	res := Hash(d.G, 4)
+	r := BuildRenumbering(res)
+	nf := r.ApplyToFeatures(d.Features, d.FeatDim)
+	nl := r.ApplyToLabels(d.Labels)
+	for nid := 0; nid < d.G.NumNodes(); nid++ {
+		old := r.OldID[nid]
+		if nl[nid] != d.Labels[old] {
+			t.Fatalf("label mismatch at %d", nid)
+		}
+		of := d.Feature(old)
+		for j := 0; j < d.FeatDim; j++ {
+			if nf[nid*d.FeatDim+j] != of[j] {
+				t.Fatalf("feature mismatch at %d[%d]", nid, j)
+			}
+		}
+	}
+}
+
+func TestSortOwned(t *testing.T) {
+	d := testGraph()
+	res := Metis(d.G, 4, 1)
+	r := BuildRenumbering(res)
+	train := r.ApplyToIDs(d.TrainIdx)
+	total := 0
+	for p := 0; p < 4; p++ {
+		owned := r.SortOwned(train, p)
+		total += len(owned)
+		lo, hi := r.OwnedRange(p)
+		for i, v := range owned {
+			if v < lo || v >= hi {
+				t.Fatalf("part %d got foreign seed %d", p, v)
+			}
+			if i > 0 && owned[i-1] >= v {
+				t.Fatalf("part %d seeds not sorted", p)
+			}
+		}
+	}
+	if total != len(train) {
+		t.Fatalf("seed co-partition lost nodes: %d of %d", total, len(train))
+	}
+}
+
+func TestEdgeCutSymmetricCounting(t *testing.T) {
+	// Two cliques joined by one edge, split at the bridge: cut counts the
+	// bridge's adjacency entries.
+	var src, dst []graph.NodeID
+	addBoth := func(a, b graph.NodeID) {
+		src = append(src, a, b)
+		dst = append(dst, b, a)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			addBoth(graph.NodeID(i), graph.NodeID(j))
+			addBoth(graph.NodeID(i+4), graph.NodeID(j+4))
+		}
+	}
+	addBoth(0, 4)
+	g := graph.FromEdges(8, src, dst)
+	r := &Result{K: 2, Parts: []int32{0, 0, 0, 0, 1, 1, 1, 1}}
+	cut, frac := EdgeCut(g, r)
+	if cut != 2 {
+		t.Fatalf("cut=%d, want 2 (both directions of the bridge)", cut)
+	}
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("frac=%v", frac)
+	}
+}

@@ -1,0 +1,57 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestMetisProperty checks the partitioner's invariants over randomised
+// graphs and part counts: full cover, balance within the constraint, and an
+// edge cut no worse than hash partitioning.
+func TestMetisProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		nodes := 200 + r.Intn(3000)
+		deg := 3 + r.Intn(14)
+		k := 2 + r.Intn(7)
+		d := gen.Generate(gen.Config{
+			Name: "pp", Nodes: nodes, AvgDegree: float64(deg),
+			FeatDim: 2, NumClasses: 4 + r.Intn(12), Seed: seed,
+		})
+		res := Metis(d.G, k, seed)
+		if err := res.Validate(nodes); err != nil {
+			t.Log(err)
+			return false
+		}
+		if res.Imbalance() > 1.25 {
+			t.Logf("seed %d: imbalance %.3f", seed, res.Imbalance())
+			return false
+		}
+		_, mcut := EdgeCut(d.G, res)
+		_, hcut := EdgeCut(d.G, Hash(d.G, k))
+		if mcut > hcut {
+			t.Logf("seed %d: metis cut %.3f worse than hash %.3f", seed, mcut, hcut)
+			return false
+		}
+		// Renumbering stays a bijection with consecutive ranges.
+		ren := BuildRenumbering(res)
+		for p := 0; p < k; p++ {
+			lo, hi := ren.OwnedRange(p)
+			for v := lo; v < hi; v += graph.NodeID(1 + r.Intn(64)) {
+				if ren.Owner(v) != p || ren.NewID[ren.OldID[v]] != v {
+					t.Logf("seed %d: renumbering broken at %d", seed, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(s uint16) bool { return check(uint64(s)) },
+		&quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package pipeline implements DSP's training pipeline: producer-consumer
+// queues that let the sampler, loader and trainer of DIFFERENT mini-batches
+// run concurrently on each GPU, and the Centralized Communication
+// Coordination (CCC) scheme that makes concurrent collectives deadlock-free.
+//
+// The deadlock hazard (paper Figure 8): communication kernels hold GPU
+// resources irrevocably and an all-to-all can only proceed once its peer
+// kernels have launched on every GPU. If GPU 1 launches the sampler's
+// collective first while GPU 2 launches the loader's first, each holds the
+// resource the other's peer needs — a cycle. CCC designates GPU 0 the
+// leader: collectives launch everywhere in the order the leader's own
+// workers submitted them, which eliminates cycles by construction.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Coordinator arbitrates communication-kernel launches across GPUs.
+type Coordinator struct {
+	eng *sim.Engine
+	n   int
+	// UseCCC selects leader-ordered launches; without it, launches acquire
+	// resources in arrival order and can deadlock.
+	UseCCC bool
+
+	// slot[g] models the irrevocable SM allocation of the in-flight
+	// communication kernel on GPU g.
+	slot []*sim.Resource
+
+	// Leader state: the global grant order (worker ids in leader submission
+	// order) and each GPU's progress through it.
+	granted   []int
+	nextGrant []int
+	cond      []*sim.Event // per-GPU "state advanced" condition
+}
+
+// NewCoordinator creates a coordinator for n GPUs. slotCap is the number of
+// communication kernels that can hold GPU resources simultaneously on one
+// GPU (capacity 1 makes the Figure 8 hazard deterministic in tests; DSP runs
+// with capacity 2 so sampler and loader collectives overlap).
+func NewCoordinator(eng *sim.Engine, n int, useCCC bool, slotCap int) *Coordinator {
+	if slotCap < 1 {
+		slotCap = 1
+	}
+	c := &Coordinator{eng: eng, n: n, UseCCC: useCCC}
+	for g := 0; g < n; g++ {
+		c.slot = append(c.slot, eng.NewResource(slotCap))
+		c.cond = append(c.cond, eng.NewEvent())
+	}
+	c.nextGrant = make([]int, n)
+	return c
+}
+
+// notify wakes every process waiting on GPU g's condition.
+func (c *Coordinator) notify(g int) {
+	ev := c.cond[g]
+	c.cond[g] = c.eng.NewEvent()
+	ev.Trigger()
+}
+
+// notifyAll broadcasts a state change to all GPUs (leader grants are global).
+func (c *Coordinator) notifyAll() {
+	for g := 0; g < c.n; g++ {
+		c.notify(g)
+	}
+}
+
+// Enter is the launch protocol of worker workerID's communication kernel on
+// GPU gpu: under CCC it waits for the kernel's turn in the leader-decided
+// global order, then claims the GPU's (irrevocable) kernel resources.
+func (c *Coordinator) Enter(p *sim.Proc, gpu, workerID int) {
+	if c.UseCCC {
+		// Leader: submitting IS granting.
+		if gpu == 0 {
+			c.granted = append(c.granted, workerID)
+			c.notifyAll()
+		}
+		// Wait for this worker's turn in the global order.
+		for {
+			if c.nextGrant[gpu] < len(c.granted) && c.granted[c.nextGrant[gpu]] == workerID {
+				c.nextGrant[gpu]++
+				c.notify(gpu) // others on this GPU may now be up
+				break
+			}
+			c.cond[gpu].Wait(p)
+		}
+	}
+	c.slot[gpu].Acquire(p, 1)
+}
+
+// Exit releases the kernel resources claimed by Enter.
+func (c *Coordinator) Exit(gpu int) {
+	c.slot[gpu].Release(1)
+}
+
+// Communicate runs body as worker workerID's communication kernel on GPU
+// gpu. The body typically performs a collective (which internally blocks on
+// peers). Under CCC the kernel launches in leader order; without CCC it
+// launches immediately on resource availability, reproducing the hazard.
+func (c *Coordinator) Communicate(p *sim.Proc, gpu, workerID int, body func(*sim.Proc)) {
+	c.Enter(p, gpu, workerID)
+	body(p)
+	c.Exit(gpu)
+}
+
+// WorkerGate is a comm.Gate view of the coordinator bound to one worker id:
+// install one per worker-group communicator with SetGate.
+type WorkerGate struct {
+	C        *Coordinator
+	WorkerID int
+}
+
+// Enter implements the gate protocol for this worker.
+func (g WorkerGate) Enter(p *sim.Proc, gpu int) { g.C.Enter(p, gpu, g.WorkerID) }
+
+// Exit releases the kernel resources.
+func (g WorkerGate) Exit(gpu int) { g.C.Exit(gpu) }
+
+// Gate returns the gate for one worker id.
+func (c *Coordinator) Gate(workerID int) WorkerGate {
+	return WorkerGate{C: c, WorkerID: workerID}
+}
+
+// String describes the coordinator mode.
+func (c *Coordinator) String() string {
+	if c.UseCCC {
+		return fmt.Sprintf("CCC(leader=0, n=%d)", c.n)
+	}
+	return fmt.Sprintf("uncoordinated(n=%d)", c.n)
+}

@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MultiStages describes a pipeline with several sampler and loader worker
+// instances per GPU — the multi-instance design the paper considers and
+// rejects in Section 5 ("it consumes more memory for in-flight works...
+// with more workers on each GPU, the resource contention for both CPU and
+// GPU is more severe"). Sampler instance i processes steps i, i+S, i+2S...;
+// each instance function typically closes over its own communicator.
+// The trainer stays single (multiple trainers would violate BSP) and
+// reorders batches back into step order before consuming them.
+type MultiStages struct {
+	NumBatches int
+	Samplers   []func(p *sim.Proc, step int) interface{}
+	Loaders    []func(p *sim.Proc, step int, v interface{}) interface{}
+	Train      func(p *sim.Proc, step int, v interface{})
+}
+
+// RunPipelinedMulti spawns len(Samplers) sampler workers and len(Loaders)
+// loader workers joined by shared bounded queues, plus one reordering
+// trainer. done fires when the trainer has consumed every step in order.
+func RunPipelinedMulti(eng *sim.Engine, name string, s MultiStages, queueCap int, done *sim.Event) {
+	if len(s.Samplers) == 0 || len(s.Loaders) == 0 {
+		panic("pipeline: MultiStages needs at least one sampler and loader")
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	// Steps are assigned to worker instances by index (step mod workers),
+	// NOT by queue availability: loader instance j is a peer group across
+	// GPUs with its own communicator, so all GPUs must route the same steps
+	// to the same instance or the collectives would misalign.
+	nL := len(s.Loaders)
+	loadQs := make([]*sim.Queue, nL)
+	for j := range loadQs {
+		loadQs[j] = eng.NewQueue(queueCap)
+	}
+	trainQ := eng.NewQueue(queueCap)
+	samplersLeft := len(s.Samplers)
+	loadersLeft := nL
+	for i, fn := range s.Samplers {
+		i, fn := i, fn
+		eng.Go(fmt.Sprintf("%s/sampler%d", name, i), func(p *sim.Proc) {
+			for step := i; step < s.NumBatches; step += len(s.Samplers) {
+				v := fn(p, step)
+				loadQs[step%nL].Put(p, queueItem{step, v})
+			}
+			samplersLeft--
+			if samplersLeft == 0 {
+				for _, q := range loadQs {
+					q.Close()
+				}
+			}
+		})
+	}
+	for j, fn := range s.Loaders {
+		j, fn := j, fn
+		eng.Go(fmt.Sprintf("%s/loader%d", name, j), func(p *sim.Proc) {
+			// Consume strictly in this instance's step order (j, j+L, ...)
+			// even if samplers deliver out of order, so instance j's
+			// collectives stay step-aligned across GPUs.
+			pending := map[int]interface{}{}
+			want := j
+			for {
+				item, ok := loadQs[j].Get(p)
+				if !ok {
+					loadersLeft--
+					if loadersLeft == 0 {
+						trainQ.Close()
+					}
+					return
+				}
+				qi := item.(queueItem)
+				pending[qi.step] = qi.v
+				for {
+					v, ok := pending[want]
+					if !ok {
+						break
+					}
+					delete(pending, want)
+					out := fn(p, want, v)
+					trainQ.Put(p, queueItem{want, out})
+					want += nL
+				}
+			}
+		})
+	}
+	eng.Go(name+"/trainer", func(p *sim.Proc) {
+		pending := map[int]interface{}{}
+		want := 0
+		for {
+			item, ok := trainQ.Get(p)
+			if !ok {
+				break
+			}
+			qi := item.(queueItem)
+			pending[qi.step] = qi.v
+			for {
+				v, ok := pending[want]
+				if !ok {
+					break
+				}
+				delete(pending, want)
+				s.Train(p, want, v)
+				want++
+			}
+		}
+		if want != s.NumBatches {
+			panic(fmt.Sprintf("pipeline: multi trainer consumed %d of %d steps", want, s.NumBatches))
+		}
+		done.Trigger()
+	})
+}

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMultiPipelineCompletesInOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	done := eng.NewEvent()
+	var got []int
+	ms := MultiStages{
+		NumBatches: 23,
+		Train: func(p *sim.Proc, step int, v interface{}) {
+			if v.(int) != step*100 {
+				t.Errorf("step %d payload %v", step, v)
+			}
+			p.Sleep(0.05)
+			got = append(got, step)
+		},
+	}
+	for i := 0; i < 3; i++ {
+		i := i
+		ms.Samplers = append(ms.Samplers, func(p *sim.Proc, step int) interface{} {
+			// Different instances run at different speeds: reordering must
+			// still deliver steps in order.
+			p.Sleep(sim.Time(0.1 * float64(i+1)))
+			return step
+		})
+	}
+	for j := 0; j < 2; j++ {
+		ms.Loaders = append(ms.Loaders, func(p *sim.Proc, step int, v interface{}) interface{} {
+			p.Sleep(0.02)
+			return v.(int) * 100
+		})
+	}
+	RunPipelinedMulti(eng, "g", ms, 2, done)
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done.Fired() {
+		t.Fatal("did not complete")
+	}
+	if len(got) != 23 {
+		t.Fatalf("trained %d steps", len(got))
+	}
+	for i, s := range got {
+		if s != i {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestMultiPipelineLoaderInstanceOrdering(t *testing.T) {
+	// Loader instance j must see steps j, j+L, j+2L... strictly in order.
+	eng := sim.NewEngine()
+	done := eng.NewEvent()
+	const L = 3
+	seen := make([][]int, L)
+	ms := MultiStages{
+		NumBatches: 17,
+		Train:      func(p *sim.Proc, step int, v interface{}) {},
+	}
+	ms.Samplers = append(ms.Samplers, func(p *sim.Proc, step int) interface{} {
+		p.Sleep(0.01)
+		return nil
+	})
+	for j := 0; j < L; j++ {
+		j := j
+		ms.Loaders = append(ms.Loaders, func(p *sim.Proc, step int, v interface{}) interface{} {
+			seen[j] = append(seen[j], step)
+			return v
+		})
+	}
+	RunPipelinedMulti(eng, "g", ms, 2, done)
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < L; j++ {
+		for i, s := range seen[j] {
+			if s != j+i*L {
+				t.Fatalf("loader %d saw %v", j, seen[j])
+			}
+		}
+	}
+}
+
+func TestMultiPipelinePanicsWithoutWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty worker set")
+		}
+	}()
+	RunPipelinedMulti(sim.NewEngine(), "g", MultiStages{NumBatches: 1}, 2, nil)
+}

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Stages holds the per-GPU stage implementations for one training epoch.
+// Each function is called with the mini-batch step index; the value returned
+// by Sample flows to Load, and Load's result flows to Train — the queues in
+// between are what allow steps to overlap.
+type Stages struct {
+	NumBatches int
+	// Sample constructs the graph samples for step (the sampler worker).
+	Sample func(p *sim.Proc, step int) interface{}
+	// Load fetches features for the step's samples (the loader worker).
+	Load func(p *sim.Proc, step int, sampled interface{}) interface{}
+	// Train consumes the loaded batch (the trainer worker). Steps arrive
+	// strictly in order, preserving BSP semantics.
+	Train func(p *sim.Proc, step int, loaded interface{})
+}
+
+// queueItem tags payloads with their step so ordering violations are caught.
+type queueItem struct {
+	step int
+	v    interface{}
+}
+
+// RunPipelined spawns the three workers for one GPU, joined by bounded
+// queues of the given capacity (the paper finds capacity 2 sufficient).
+// done is triggered when the trainer finishes the epoch.
+func RunPipelined(eng *sim.Engine, name string, s Stages, queueCap int, done *sim.Event) {
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	loadQ := eng.NewQueue(queueCap)
+	trainQ := eng.NewQueue(queueCap)
+	eng.Go(name+"/sampler", func(p *sim.Proc) {
+		for step := 0; step < s.NumBatches; step++ {
+			v := s.Sample(p, step)
+			loadQ.Put(p, queueItem{step, v})
+		}
+		loadQ.Close()
+	})
+	eng.Go(name+"/loader", func(p *sim.Proc) {
+		for {
+			item, ok := loadQ.Get(p)
+			if !ok {
+				trainQ.Close()
+				return
+			}
+			qi := item.(queueItem)
+			v := s.Load(p, qi.step, qi.v)
+			trainQ.Put(p, queueItem{qi.step, v})
+		}
+	})
+	eng.Go(name+"/trainer", func(p *sim.Proc) {
+		want := 0
+		for {
+			item, ok := trainQ.Get(p)
+			if !ok {
+				break
+			}
+			qi := item.(queueItem)
+			if qi.step != want {
+				panic(fmt.Sprintf("pipeline: trainer got step %d, want %d (BSP violation)", qi.step, want))
+			}
+			want++
+			s.Train(p, qi.step, qi.v)
+		}
+		if want != s.NumBatches {
+			panic(fmt.Sprintf("pipeline: trainer saw %d of %d steps", want, s.NumBatches))
+		}
+		done.Trigger()
+	})
+}
+
+// RunSequential executes the stages of each step back to back in a single
+// worker — the DSP-Seq configuration the pipeline is compared against.
+func RunSequential(eng *sim.Engine, name string, s Stages, done *sim.Event) {
+	eng.Go(name+"/seq", func(p *sim.Proc) {
+		for step := 0; step < s.NumBatches; step++ {
+			v := s.Sample(p, step)
+			v = s.Load(p, step, v)
+			s.Train(p, step, v)
+		}
+		done.Trigger()
+	})
+}

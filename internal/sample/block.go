@@ -1,0 +1,272 @@
+package sample
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Block is one layer of a mini-batch sample: a bipartite graph from sampled
+// source nodes to the destination nodes whose next-layer embeddings it
+// computes (the DGL "block" structure DSP inherits).
+type Block struct {
+	// Dst are the unique nodes computed by this block (global ids).
+	Dst []graph.NodeID
+	// SrcPtr/Src form a CSR: sampled neighbours of Dst[i] are
+	// Src[SrcPtr[i]:SrcPtr[i+1]] (global ids, duplicates possible).
+	SrcPtr []int32
+	Src    []graph.NodeID
+
+	// InputNodes are the unique nodes whose previous-layer embeddings this
+	// block consumes: Dst first (self connections), then the remaining
+	// unique Src nodes.
+	InputNodes []graph.NodeID
+	// SrcLocal maps each Src entry to its InputNodes index; DstLocal maps
+	// each Dst entry likewise (DstLocal[i] == i by construction).
+	SrcLocal []int32
+	DstLocal []int32
+}
+
+// NumEdges returns the number of sampled (src, dst) pairs.
+func (b *Block) NumEdges() int { return len(b.Src) }
+
+// BuildBlock assembles a block from per-destination sample lists and
+// computes the unique input-node set and local index mappings.
+func BuildBlock(dst []graph.NodeID, counts []int32, samples []graph.NodeID) *Block {
+	if len(dst) != len(counts) {
+		panic("sample: dst/counts length mismatch")
+	}
+	b := &Block{Dst: dst, Src: samples}
+	b.SrcPtr = make([]int32, len(dst)+1)
+	var total int32
+	for i, c := range counts {
+		total += c
+		b.SrcPtr[i+1] = total
+	}
+	if int(total) != len(samples) {
+		panic(fmt.Sprintf("sample: %d samples for counts summing to %d", len(samples), total))
+	}
+	// InputNodes: dst first, then unseen src nodes.
+	index := make(map[graph.NodeID]int32, len(dst)+len(samples))
+	b.InputNodes = make([]graph.NodeID, 0, len(dst)+len(samples)/2)
+	b.DstLocal = make([]int32, len(dst))
+	for i, v := range dst {
+		index[v] = int32(i)
+		b.InputNodes = append(b.InputNodes, v)
+		b.DstLocal[i] = int32(i)
+	}
+	b.SrcLocal = make([]int32, len(samples))
+	for i, v := range samples {
+		li, ok := index[v]
+		if !ok {
+			li = int32(len(b.InputNodes))
+			index[v] = li
+			b.InputNodes = append(b.InputNodes, v)
+		}
+		b.SrcLocal[i] = li
+	}
+	return b
+}
+
+// Validate checks block invariants.
+func (b *Block) Validate() error {
+	if len(b.SrcPtr) != len(b.Dst)+1 {
+		return fmt.Errorf("sample: srcptr length %d for %d dst", len(b.SrcPtr), len(b.Dst))
+	}
+	if int(b.SrcPtr[len(b.Dst)]) != len(b.Src) {
+		return fmt.Errorf("sample: srcptr end %d != %d srcs", b.SrcPtr[len(b.Dst)], len(b.Src))
+	}
+	seen := make(map[graph.NodeID]bool, len(b.InputNodes))
+	for _, v := range b.InputNodes {
+		if seen[v] {
+			return fmt.Errorf("sample: duplicate input node %d", v)
+		}
+		seen[v] = true
+	}
+	for i, v := range b.Dst {
+		if b.InputNodes[b.DstLocal[i]] != v {
+			return fmt.Errorf("sample: dst local index broken at %d", i)
+		}
+	}
+	for i, v := range b.Src {
+		if b.InputNodes[b.SrcLocal[i]] != v {
+			return fmt.Errorf("sample: src local index broken at %d", i)
+		}
+	}
+	return nil
+}
+
+// MiniBatch is a complete multi-layer graph sample for a set of seeds.
+// Blocks[0] is input-most: its InputNodes require raw features; Blocks[K-1]
+// computes seed embeddings. Adjacent blocks chain: Blocks[l+1]'s InputNodes
+// equal Blocks[l]'s Dst.
+type MiniBatch struct {
+	Seeds  []graph.NodeID
+	Blocks []*Block
+	// Epoch/Step identify the batch; Seed is the batch sampling seed.
+	Epoch, Step int
+	Seed        uint64
+}
+
+// InputNodes returns the nodes whose raw features the batch needs.
+func (mb *MiniBatch) InputNodes() []graph.NodeID {
+	return mb.Blocks[0].InputNodes
+}
+
+// NumSampledEdges returns total sampled edges across layers (the sampling
+// work volume).
+func (mb *MiniBatch) NumSampledEdges() int64 {
+	var t int64
+	for _, b := range mb.Blocks {
+		t += int64(b.NumEdges())
+	}
+	return t
+}
+
+// Validate checks the chaining invariants between blocks.
+func (mb *MiniBatch) Validate() error {
+	if len(mb.Blocks) == 0 {
+		return fmt.Errorf("sample: empty minibatch")
+	}
+	for l, b := range mb.Blocks {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("block %d: %w", l, err)
+		}
+	}
+	last := mb.Blocks[len(mb.Blocks)-1]
+	if len(last.Dst) != len(mb.Seeds) {
+		return fmt.Errorf("sample: output block computes %d nodes for %d seeds", len(last.Dst), len(mb.Seeds))
+	}
+	for i, s := range mb.Seeds {
+		if last.Dst[i] != s {
+			return fmt.Errorf("sample: output dst %d != seed %d", last.Dst[i], s)
+		}
+	}
+	for l := 0; l+1 < len(mb.Blocks); l++ {
+		upper := mb.Blocks[l+1]
+		lower := mb.Blocks[l]
+		if len(upper.InputNodes) != len(lower.Dst) {
+			return fmt.Errorf("sample: chain broken at %d: %d vs %d", l, len(upper.InputNodes), len(lower.Dst))
+		}
+		for i := range lower.Dst {
+			if upper.InputNodes[i] != lower.Dst[i] {
+				return fmt.Errorf("sample: chain mismatch at block %d pos %d", l, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Config mirrors the paper's Table 2: the configurable parameters of the
+// collective sampling primitive.
+type Config struct {
+	// Fanout[l] is the per-node fan-out (node-wise) or the layer budget
+	// (layer-wise) for hop l; len(Fanout) is the number of layers.
+	Fanout []int
+	// LayerWise selects layer-wise (FastGCN-style) over node-wise sampling.
+	LayerWise bool
+	// Biased uses edge weights; requires the graph to carry weights.
+	Biased bool
+	// WithReplacement controls the layer-wise variant (and, for node-wise,
+	// whether draws may repeat).
+	WithReplacement bool
+}
+
+// Layers returns the number of sampling hops.
+func (c Config) Layers() int { return len(c.Fanout) }
+
+// Reference samples a mini-batch on a single address space — the oracle the
+// distributed CSP implementation must match exactly, and the kernel the
+// single-GPU / CPU baselines execute.
+func Reference(g *graph.CSR, seeds []graph.NodeID, cfg Config, batchSeed uint64) *MiniBatch {
+	mb := &MiniBatch{Seeds: seeds, Seed: batchSeed}
+	dst := seeds
+	blocks := make([]*Block, 0, cfg.Layers())
+	for l := 0; l < cfg.Layers(); l++ {
+		var block *Block
+		if cfg.LayerWise {
+			block = sampleLayerWise(g, dst, l, cfg, batchSeed)
+		} else {
+			block = sampleNodeWise(g, dst, l, cfg, batchSeed)
+		}
+		blocks = append(blocks, block)
+		dst = block.InputNodes
+	}
+	// Reverse: Blocks[0] input-most.
+	for i, j := 0, len(blocks)-1; i < j; i, j = i+1, j-1 {
+		blocks[i], blocks[j] = blocks[j], blocks[i]
+	}
+	mb.Blocks = blocks
+	return mb
+}
+
+func sampleNodeWise(g *graph.CSR, dst []graph.NodeID, layer int, cfg Config, batchSeed uint64) *Block {
+	counts := make([]int32, len(dst))
+	var samples []graph.NodeID
+	fanout := cfg.Fanout[layer]
+	for i, v := range dst {
+		before := len(samples)
+		samples = DrawNode(g, v, layer, fanout, cfg, batchSeed, samples)
+		counts[i] = int32(len(samples) - before)
+	}
+	return BuildBlock(dst, counts, samples)
+}
+
+// DrawNode draws the neighbour sample for one (node, layer) on a full-graph
+// CSR. It delegates to DrawAdj with v as both the adjacency index and the
+// seeding id.
+func DrawNode(g *graph.CSR, v graph.NodeID, layer int, fanout int, cfg Config, batchSeed uint64, out []graph.NodeID) []graph.NodeID {
+	return DrawAdj(g.Neighbors(v), g.NeighborWeights(v), v, layer, fanout, cfg, batchSeed, out)
+}
+
+// DrawAdj is THE local sampling kernel: it draws from an adjacency slice,
+// seeding the generator with the node's GLOBAL id. The distributed CSP calls
+// it with a patch-local adjacency slice but the global id, which makes its
+// draws bit-identical to the single-address-space Reference sampler.
+func DrawAdj(adj []graph.NodeID, weights []float32, globalID graph.NodeID, layer int, fanout int, cfg Config, batchSeed uint64, out []graph.NodeID) []graph.NodeID {
+	r := NodeSeed(batchSeed, layer, globalID)
+	if cfg.Biased {
+		if cfg.WithReplacement {
+			return WeightedWithReplacement(r, adj, weights, fanout, out)
+		}
+		return Weighted(r, adj, weights, fanout, out)
+	}
+	if cfg.WithReplacement {
+		return UniformWithReplacement(r, adj, fanout, out)
+	}
+	return Uniform(r, adj, fanout, out)
+}
+
+// sampleLayerWise implements Eq. (2): split the layer budget across the
+// frontier proportionally to neighbour weight mass, then node-wise sample
+// the assigned counts.
+func sampleLayerWise(g *graph.CSR, dst []graph.NodeID, layer int, cfg Config, batchSeed uint64) *Block {
+	masses := make([]float64, len(dst))
+	for i, v := range dst {
+		masses[i] = g.WeightSum(v)
+	}
+	budget := cfg.Fanout[layer]
+	// The budget split is a per-(batch, layer) draw, not per-node.
+	r := NodeSeed(batchSeed, layer, graph.NodeID(-1))
+	var perNode []int
+	if cfg.WithReplacement {
+		perNode = LayerBudget(r, masses, budget)
+	} else {
+		capacity := make([]int, len(dst))
+		for i, v := range dst {
+			capacity[i] = g.Degree(v)
+		}
+		perNode = LayerBudgetWithoutReplacement(r, masses, capacity, budget)
+	}
+	counts := make([]int32, len(dst))
+	var samples []graph.NodeID
+	for i, v := range dst {
+		if perNode[i] == 0 {
+			continue
+		}
+		before := len(samples)
+		samples = DrawNode(g, v, layer, perNode[i], cfg, batchSeed, samples)
+		counts[i] = int32(len(samples) - before)
+	}
+	return BuildBlock(dst, counts, samples)
+}

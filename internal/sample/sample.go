@@ -1,0 +1,270 @@
+// Package sample implements the graph-sampling kernels and mini-batch
+// sample structures of sampling-based GNN training.
+//
+// The low-level kernels (uniform/weighted neighbour draws, layer-wise budget
+// splitting) operate on adjacency slices and are shared by every system:
+// DSP's collective sampling primitive runs them on the GPU owning the
+// adjacency list, the UVA baselines run them after pulling adjacency over
+// PCIe, and the CPU baselines run them on host cores.
+//
+// Seeding discipline: the neighbour draw for node v in layer l of a batch
+// with seed s uses rng.New(rng.Mix(s, l, v)). Sampling is therefore a pure
+// function of (batch seed, layer, node), independent of which device
+// executes it — this is what lets the tests assert that multi-GPU CSP
+// produces bit-identical samples to a single-address-space sampler.
+package sample
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// NodeSeed derives the deterministic RNG for (batchSeed, layer, node).
+func NodeSeed(batchSeed uint64, layer int, v graph.NodeID) *rng.RNG {
+	return rng.New(rng.Mix(batchSeed, uint64(layer), uint64(uint32(v))))
+}
+
+// Uniform draws min(fanout, len(adj)) neighbours without replacement,
+// appending to out. This matches DGL's default neighbour sampling (all
+// neighbours are taken when the degree is at most the fan-out).
+func Uniform(r *rng.RNG, adj []graph.NodeID, fanout int, out []graph.NodeID) []graph.NodeID {
+	d := len(adj)
+	if d == 0 {
+		return out
+	}
+	if d <= fanout {
+		return append(out, adj...)
+	}
+	// Floyd's algorithm: k distinct indices from [0, d).
+	base := len(out)
+	for i := d - fanout; i < d; i++ {
+		t := r.Intn(i + 1)
+		picked := false
+		for _, v := range out[base:] {
+			if v == adj[t] {
+				picked = true
+				break
+			}
+		}
+		if picked {
+			out = append(out, adj[i])
+		} else {
+			out = append(out, adj[t])
+		}
+	}
+	return out
+}
+
+// UniformWithReplacement draws exactly fanout neighbours with replacement.
+func UniformWithReplacement(r *rng.RNG, adj []graph.NodeID, fanout int, out []graph.NodeID) []graph.NodeID {
+	d := len(adj)
+	if d == 0 {
+		return out
+	}
+	for i := 0; i < fanout; i++ {
+		out = append(out, adj[r.Intn(d)])
+	}
+	return out
+}
+
+// Weighted draws min(fanout, len(adj)) neighbours without replacement with
+// probability proportional to weights (A-ES / Efraimidis-Spirakis keys).
+func Weighted(r *rng.RNG, adj []graph.NodeID, weights []float32, fanout int, out []graph.NodeID) []graph.NodeID {
+	d := len(adj)
+	if d == 0 {
+		return out
+	}
+	if d <= fanout {
+		return append(out, adj...)
+	}
+	// key_i = u^(1/w_i); take the top fanout keys. Equivalent: take the
+	// smallest -ln(u)/w_i (exponential race).
+	cands := make([]cand, 0, d)
+	for i := 0; i < d; i++ {
+		w := float64(weights[i])
+		if w <= 0 {
+			continue
+		}
+		cands = append(cands, cand{r.Exp(w), i})
+	}
+	if len(cands) <= fanout {
+		for _, c := range cands {
+			out = append(out, adj[c.idx])
+		}
+		return out
+	}
+	// Partial selection of the fanout smallest keys.
+	selectSmallest(cands, fanout)
+	for i := 0; i < fanout; i++ {
+		out = append(out, adj[cands[i].idx])
+	}
+	return out
+}
+
+// WeightedWithReplacement draws exactly fanout neighbours with replacement,
+// proportional to weights (linear CDF walk; adjacency lists are short-lived
+// so no alias table is built).
+func WeightedWithReplacement(r *rng.RNG, adj []graph.NodeID, weights []float32, fanout int, out []graph.NodeID) []graph.NodeID {
+	d := len(adj)
+	if d == 0 {
+		return out
+	}
+	var total float64
+	for _, w := range weights {
+		total += float64(w)
+	}
+	if total <= 0 {
+		return out
+	}
+	for k := 0; k < fanout; k++ {
+		x := r.Float64() * total
+		var acc float64
+		idx := d - 1
+		for i, w := range weights {
+			acc += float64(w)
+			if x < acc {
+				idx = i
+				break
+			}
+		}
+		out = append(out, adj[idx])
+	}
+	return out
+}
+
+// cand is a keyed candidate for weighted reservoir selection.
+type cand struct {
+	key float64
+	idx int
+}
+
+// selectSmallest partially sorts cands so the k smallest keys occupy the
+// first k slots (quickselect with deterministic median-of-three pivots).
+func selectSmallest(cands []cand, k int) {
+	lo, hi := 0, len(cands)-1
+	for lo < hi {
+		// Median-of-three pivot.
+		mid := (lo + hi) / 2
+		if cands[mid].key < cands[lo].key {
+			cands[mid], cands[lo] = cands[lo], cands[mid]
+		}
+		if cands[hi].key < cands[lo].key {
+			cands[hi], cands[lo] = cands[lo], cands[hi]
+		}
+		if cands[hi].key < cands[mid].key {
+			cands[hi], cands[mid] = cands[mid], cands[hi]
+		}
+		pivot := cands[mid].key
+		i, j := lo, hi
+		for i <= j {
+			for cands[i].key < pivot {
+				i++
+			}
+			for cands[j].key > pivot {
+				j--
+			}
+			if i <= j {
+				cands[i], cands[j] = cands[j], cands[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// LayerBudget implements the paper's Eq. (2) frontier-budget split for
+// layer-wise sampling with replacement: draw the layer budget n times from
+// the frontier-mass distribution p_u = W_u / sum(W), where W_u is the total
+// neighbour weight of frontier node u; the returned counts say how many
+// neighbours each frontier node must sample.
+func LayerBudget(r *rng.RNG, masses []float64, n int) []int {
+	counts := make([]int, len(masses))
+	var total float64
+	for _, m := range masses {
+		total += m
+	}
+	if total <= 0 || n <= 0 {
+		return counts
+	}
+	// CDF for binary search.
+	cdf := make([]float64, len(masses))
+	var acc float64
+	for i, m := range masses {
+		acc += m
+		cdf[i] = acc
+	}
+	for k := 0; k < n; k++ {
+		x := r.Float64() * total
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] <= x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		counts[lo]++
+	}
+	return counts
+}
+
+// LayerBudgetWithoutReplacement splits the budget like LayerBudget but caps
+// each frontier node's count at its distinct-neighbour capacity and
+// redistributes the excess (the appendix procedure referenced by the paper:
+// repeated capped multinomial rounds until the budget is exhausted or all
+// capacity is used).
+func LayerBudgetWithoutReplacement(r *rng.RNG, masses []float64, capacity []int, n int) []int {
+	counts := make([]int, len(masses))
+	remaining := n
+	free := make([]float64, len(masses))
+	copy(free, masses)
+	for remaining > 0 {
+		var total float64
+		for i, m := range free {
+			if counts[i] < capacity[i] {
+				total += m
+			}
+		}
+		if total <= 0 {
+			break
+		}
+		draw := LayerBudget(r, maskedMasses(free, counts, capacity), remaining)
+		progressed := false
+		for i, c := range draw {
+			if c == 0 {
+				continue
+			}
+			room := capacity[i] - counts[i]
+			if c > room {
+				c = room
+			}
+			if c > 0 {
+				counts[i] += c
+				remaining -= c
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return counts
+}
+
+func maskedMasses(masses []float64, counts, capacity []int) []float64 {
+	out := make([]float64, len(masses))
+	for i, m := range masses {
+		if counts[i] < capacity[i] {
+			out[i] = m
+		}
+	}
+	return out
+}

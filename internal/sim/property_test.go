@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestRandomWorkloadsDeterministic builds random process/resource/queue
+// workloads and checks that two runs produce identical end times and event
+// orders, and that the end time equals the analytic critical path for the
+// independent-sleeps case.
+func TestRandomWorkloadsDeterministic(t *testing.T) {
+	build := func(seed uint64) (Time, []int) {
+		r := rng.New(seed)
+		e := NewEngine()
+		res := e.NewResource(1 + r.Intn(3))
+		q := e.NewQueue(1 + r.Intn(3))
+		var order []int
+		nProd := 1 + r.Intn(3)
+		nItems := 1 + r.Intn(8)
+		for i := 0; i < nProd; i++ {
+			i := i
+			d := Time(float64(r.Intn(100)) / 100)
+			e.Go("p", func(p *Proc) {
+				for j := 0; j < nItems; j++ {
+					p.Sleep(d)
+					res.Use(p, 1, 0.01)
+					q.Put(p, i*100+j)
+				}
+				if i == 0 {
+					// Producer 0 closes after a grace period so other
+					// producers have finished (deterministic because the
+					// sleep dominates).
+					p.Sleep(10)
+					q.Close()
+				}
+			})
+		}
+		e.Go("c", func(p *Proc) {
+			for {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				order = append(order, v.(int))
+			}
+		})
+		end, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end, order
+	}
+	check := func(seed uint64) bool {
+		e1, o1 := build(seed)
+		e2, o2 := build(seed)
+		if e1 != e2 || len(o1) != len(o2) {
+			return false
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(s uint16) bool { return check(uint64(s)) },
+		&quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndependentSleepsEndAtMax: with no shared resources, the end time is
+// exactly the maximum total sleep.
+func TestIndependentSleepsEndAtMax(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		e := NewEngine()
+		n := 1 + r.Intn(10)
+		var maxTotal Time
+		for i := 0; i < n; i++ {
+			steps := 1 + r.Intn(5)
+			var total Time
+			durs := make([]Time, steps)
+			for j := range durs {
+				durs[j] = Time(float64(r.Intn(1000)) / 250)
+				total += durs[j]
+			}
+			if total > maxTotal {
+				maxTotal = total
+			}
+			e.Go("s", func(p *Proc) {
+				for _, d := range durs {
+					p.Sleep(d)
+				}
+			})
+		}
+		end, err := e.Run()
+		if err != nil {
+			return false
+		}
+		diff := end - maxTotal
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(func(s uint16) bool { return check(uint64(s)) },
+		&quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

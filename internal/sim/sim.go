@@ -1,0 +1,431 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// kernel. It is the substrate on which the simulated GPUs, interconnects and
+// training workers of this repository execute.
+//
+// Model: a simulation is a set of processes (Proc) orchestrated by an Engine.
+// Each process runs in its own goroutine, but the engine enforces a strict
+// handoff — exactly one process executes at any instant, and the order in
+// which processes are resumed is a pure function of (virtual time, scheduling
+// sequence number). Runs are therefore bit-for-bit reproducible regardless of
+// GOMAXPROCS.
+//
+// Processes advance virtual time with Sleep, synchronise with Event, Barrier
+// and Resource, and exchange data through bounded Queues. When no process is
+// runnable and no timer is pending but live processes remain parked, Run
+// reports a deadlock together with the parked process names — this is used to
+// demonstrate the communication-deadlock hazard the paper's CCC scheme
+// resolves.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in seconds.
+type Time float64
+
+// aborted is the sentinel panic value used to unwind parked processes when
+// the engine shuts down early (deadlock or Stop).
+type abortSignal struct{}
+
+// Engine is a discrete-event simulation scheduler. Create one with NewEngine,
+// spawn processes with Go, then call Run.
+type Engine struct {
+	now    Time
+	seq    uint64 // monotonically increasing scheduling tiebreaker
+	timers timerHeap
+	ready  []*Proc // FIFO run queue at the current instant
+	live   int     // processes started and not yet finished
+	parked map[*Proc]string
+	yield  chan yieldKind
+}
+
+type yieldKind int
+
+const (
+	yieldParked yieldKind = iota
+	yieldFinished
+)
+
+// NewEngine returns an empty simulation.
+func NewEngine() *Engine {
+	return &Engine{
+		yield:  make(chan yieldKind),
+		parked: map[*Proc]string{},
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Proc is a simulation process. All Proc methods must be called from within
+// the process's own function body (engine context).
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	abort  bool
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Go spawns a new process. It may be called before Run or from inside a
+// running process; the new process becomes runnable at the current virtual
+// time, after all currently runnable processes.
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); ok {
+					e.yield <- yieldFinished
+					return
+				}
+				panic(r)
+			}
+		}()
+		fn(p)
+		e.yield <- yieldFinished
+	}()
+	e.ready = append(e.ready, p)
+	return p
+}
+
+// runOne resumes p and blocks until it parks or finishes.
+func (e *Engine) runOne(p *Proc) {
+	p.resume <- struct{}{}
+	kind := <-e.yield
+	if kind == yieldFinished {
+		e.live--
+		delete(e.parked, p)
+	}
+}
+
+// park relinquishes control to the engine; it returns when the engine
+// resumes this process. why describes what the process is waiting for
+// (used in deadlock reports).
+func (p *Proc) park(why string) {
+	p.eng.parked[p] = why
+	p.eng.yield <- yieldParked
+	<-p.resume
+	delete(p.eng.parked, p)
+	if p.abort {
+		panic(abortSignal{})
+	}
+}
+
+// makeReady places p on the run queue for the current instant.
+func (e *Engine) makeReady(p *Proc) {
+	e.ready = append(e.ready, p)
+}
+
+// Sleep advances the process by d virtual seconds. Negative d sleeps 0.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.seq++
+	heap.Push(&e.timers, timer{at: e.now + d, seq: e.seq, p: p})
+	p.park(fmt.Sprintf("sleep until %g", float64(e.now+d)))
+}
+
+// DeadlockError reports that the simulation stalled with live processes.
+type DeadlockError struct {
+	At     Time
+	Parked []string // "name: reason" for each stuck process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%g with %d parked processes: %s",
+		float64(d.At), len(d.Parked), strings.Join(d.Parked, "; "))
+}
+
+// Run executes the simulation until no work remains. It returns the final
+// virtual time. If live processes remain parked with no pending timers, Run
+// aborts them and returns a *DeadlockError.
+func (e *Engine) Run() (Time, error) {
+	for {
+		for len(e.ready) > 0 {
+			p := e.ready[0]
+			e.ready = e.ready[1:]
+			e.runOne(p)
+		}
+		if e.timers.Len() == 0 {
+			break
+		}
+		t := heap.Pop(&e.timers).(timer)
+		if t.at > e.now {
+			e.now = t.at
+		}
+		e.makeReady(t.p)
+	}
+	if e.live > 0 {
+		derr := &DeadlockError{At: e.now}
+		procs := make([]*Proc, 0, len(e.parked))
+		for p := range e.parked {
+			procs = append(procs, p)
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i].name < procs[j].name })
+		for _, p := range procs {
+			derr.Parked = append(derr.Parked, p.name+": "+e.parked[p])
+		}
+		e.abortParked(procs)
+		return e.now, derr
+	}
+	return e.now, nil
+}
+
+// abortParked unwinds stuck processes so their goroutines exit.
+func (e *Engine) abortParked(procs []*Proc) {
+	for _, p := range procs {
+		p.abort = true
+		e.runOne(p)
+	}
+}
+
+type timer struct {
+	at  Time
+	seq uint64
+	p   *Proc
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Event is a one-shot synchronisation point. Processes Wait on it; a Trigger
+// wakes all waiters at the current instant. Waiting on an already-triggered
+// event returns immediately.
+type Event struct {
+	eng     *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an untriggered event.
+func (e *Engine) NewEvent() *Event { return &Event{eng: e} }
+
+// Fired reports whether the event has been triggered.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Trigger fires the event, waking all waiters. Triggering twice is a no-op.
+func (ev *Event) Trigger() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, p := range ev.waiters {
+		ev.eng.makeReady(p)
+	}
+	ev.waiters = nil
+}
+
+// Wait parks p until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park("event")
+}
+
+// Barrier blocks processes until n of them have arrived, then releases the
+// whole group and resets for reuse (a cyclic barrier).
+type Barrier struct {
+	eng   *Engine
+	n     int
+	count int
+	wait  []*Proc
+}
+
+// NewBarrier creates a cyclic barrier for n parties.
+func (e *Engine) NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier size must be positive")
+	}
+	return &Barrier{eng: e, n: n}
+}
+
+// Arrive parks p until all n parties have arrived in the current generation.
+func (b *Barrier) Arrive(p *Proc) {
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		for _, w := range b.wait {
+			b.eng.makeReady(w)
+		}
+		b.wait = nil
+		return
+	}
+	b.wait = append(b.wait, p)
+	p.park("barrier")
+}
+
+// Resource is a counted resource with FIFO admission (e.g., SM slots on a
+// GPU, or a link treated as a single-server queue).
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []resWaiter
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given capacity.
+func (e *Engine) NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Acquire obtains n units, parking p in FIFO order if unavailable.
+// It panics if n exceeds the total capacity (would never succeed).
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d exceeds capacity %d", n, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p, n})
+	p.park("resource")
+}
+
+// Release returns n units and admits waiting processes in FIFO order.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: resource over-release")
+	}
+	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.capacity {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse += w.n
+		r.eng.makeReady(w.p)
+	}
+}
+
+// Use acquires one unit, sleeps for service, then releases: the single-server
+// FCFS queue used to model bandwidth-serialised links and serialized kernels.
+func (r *Resource) Use(p *Proc, n int, service Time) {
+	r.Acquire(p, n)
+	p.Sleep(service)
+	r.Release(n)
+}
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queue is a bounded FIFO of arbitrary items with virtual-time blocking
+// semantics: Put parks while full, Get parks while empty. It implements the
+// producer-consumer queues of the training pipeline.
+type Queue struct {
+	eng      *Engine
+	capacity int
+	items    []interface{}
+	closed   bool
+	getters  []*Proc
+	putters  []*Proc
+}
+
+// NewQueue creates a queue with the given capacity (must be positive).
+func (e *Engine) NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		panic("sim: queue capacity must be positive")
+	}
+	return &Queue{eng: e, capacity: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return q.capacity }
+
+// Put appends v, parking while the queue is full. Put on a closed queue
+// panics (a pipeline bug).
+func (q *Queue) Put(p *Proc, v interface{}) {
+	for len(q.items) >= q.capacity {
+		q.putters = append(q.putters, p)
+		p.park("queue full")
+	}
+	if q.closed {
+		panic("sim: put on closed queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeGetters()
+}
+
+// Get removes and returns the oldest item, parking while empty. ok is false
+// if the queue is closed and drained.
+func (q *Queue) Get(p *Proc) (v interface{}, ok bool) {
+	for len(q.items) == 0 && !q.closed {
+		q.getters = append(q.getters, p)
+		p.park("queue empty")
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.wakePutters()
+	return v, true
+}
+
+// Close marks the queue as finished; blocked and future Gets drain remaining
+// items and then return ok=false.
+func (q *Queue) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.wakeGetters()
+}
+
+func (q *Queue) wakeGetters() {
+	for _, g := range q.getters {
+		q.eng.makeReady(g)
+	}
+	q.getters = nil
+}
+
+func (q *Queue) wakePutters() {
+	for _, w := range q.putters {
+		q.eng.makeReady(w)
+	}
+	q.putters = nil
+}

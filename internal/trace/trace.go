@@ -1,0 +1,150 @@
+// Package trace records simulated execution events (kernels, transfers,
+// worker stages) and exports them in the Chrome trace-event format, so a
+// DSP run can be inspected on a timeline in chrome://tracing or Perfetto —
+// the virtual-time equivalent of an Nsight profile. Attach a Tracer to a
+// machine (hw.Machine.Tracer) or pass one to the training CLIs with
+// -trace.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event is one complete ("X" phase) trace event in microseconds of virtual
+// time.
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Tracer accumulates events. The simulation is single-threaded, so no
+// locking is needed; a nil *Tracer is safe to call (no-ops).
+type Tracer struct {
+	events []Event
+	names  map[[2]int]string // (pid, tid) -> lane name
+	pids   map[int]string
+}
+
+// New creates an empty tracer.
+func New() *Tracer {
+	return &Tracer{names: map[[2]int]string{}, pids: map[int]string{}}
+}
+
+// Enabled reports whether events are being collected.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// NamePid labels a process lane (e.g. "GPU 3").
+func (t *Tracer) NamePid(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.pids[pid] = name
+}
+
+// NameLane labels a thread lane within a process (e.g. "sampler").
+func (t *Tracer) NameLane(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.names[[2]int{pid, tid}] = name
+}
+
+// Complete records a finished span. start/end are virtual seconds.
+func (t *Tracer) Complete(name, cat string, pid, tid int, start, end float64, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Ph: "X",
+		Ts: start * 1e6, Dur: (end - start) * 1e6,
+		Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded spans sorted by start time.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := append([]Event(nil), t.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	return out
+}
+
+// WriteJSON emits the Chrome trace-event JSON array, including metadata
+// events naming the lanes.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]")
+		return err
+	}
+	all := make([]map[string]interface{}, 0, len(t.events)+len(t.pids)+len(t.names))
+	for pid, name := range t.pids {
+		all = append(all, map[string]interface{}{
+			"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+			"args": map[string]string{"name": name},
+		})
+	}
+	for key, name := range t.names {
+		all = append(all, map[string]interface{}{
+			"name": "thread_name", "ph": "M", "pid": key[0], "tid": key[1],
+			"args": map[string]string{"name": name},
+		})
+	}
+	for _, e := range t.Events() {
+		m := map[string]interface{}{
+			"name": e.Name, "cat": e.Cat, "ph": e.Ph,
+			"ts": e.Ts, "dur": e.Dur, "pid": e.Pid, "tid": e.Tid,
+		}
+		if len(e.Args) > 0 {
+			m["args"] = e.Args
+		}
+		all = append(all, m)
+	}
+	// Deterministic output: sort metadata-first then by ts.
+	sort.SliceStable(all, func(i, j int) bool {
+		pi, pj := all[i]["ph"] == "M", all[j]["ph"] == "M"
+		if pi != pj {
+			return pi
+		}
+		ti, _ := all[i]["ts"].(float64)
+		tj, _ := all[j]["ts"].(float64)
+		if ti != tj {
+			return ti < tj
+		}
+		return fmt.Sprint(all[i]["pid"], all[i]["tid"], all[i]["name"]) <
+			fmt.Sprint(all[j]["pid"], all[j]["tid"], all[j]["name"])
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(all)
+}
+
+// Summary aggregates total span time per (category, name), useful for
+// programmatic breakdowns and tests.
+func (t *Tracer) Summary() map[string]float64 {
+	out := map[string]float64{}
+	if t == nil {
+		return out
+	}
+	for _, e := range t.events {
+		out[e.Cat+"/"+e.Name] += e.Dur
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/hw"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/sample"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RunEpoch spawns per-GPU workers built by stagesFor and runs the engine to
+// completion, collecting timing, utilization and communication-volume stats.
+// pipelined selects the producer-consumer pipeline; otherwise stages run
+// back to back (DSP-Seq and all baseline systems). Each stage is preceded
+// by the host-side framework overhead; in pipelined mode the three workers
+// pay it concurrently, which is part of what the pipeline hides.
+func RunEpoch(m *hw.Machine, epoch int, pipelined bool, queueCap int, overhead sim.Time,
+	stagesFor func(rank int, st *EpochStats) pipeline.Stages) (EpochStats, error) {
+	n := len(m.GPUs)
+	eng := m.Eng
+	start := eng.Now()
+	before := m.Fabric.Counters
+	for _, g := range m.GPUs {
+		g.ResetBusy()
+	}
+	stats := make([]EpochStats, n)
+	var dones []*sim.Event
+	for rank := 0; rank < n; rank++ {
+		stages := stagesFor(rank, &stats[rank])
+		stages = withOverhead(stages, overhead)
+		stages = withStageTiming(stages, &stats[rank])
+		if tr := m.GPUs[rank].Tracer; tr.Enabled() {
+			stages = withTraceSpans(stages, tr, rank)
+		}
+		done := eng.NewEvent()
+		dones = append(dones, done)
+		name := fmt.Sprintf("gpu%d", rank)
+		if pipelined {
+			pipeline.RunPipelined(eng, name, stages, queueCap, done)
+		} else {
+			pipeline.RunSequential(eng, name, stages, done)
+		}
+	}
+	end, err := eng.Run()
+	if err != nil {
+		return EpochStats{}, err
+	}
+	for _, d := range dones {
+		if !d.Fired() {
+			return EpochStats{}, fmt.Errorf("train: epoch did not complete on all GPUs")
+		}
+	}
+	out := EpochStats{Epoch: epoch, EpochTime: end - start}
+	for _, st := range stats {
+		out.Loss += st.Loss
+		out.Correct += st.Correct
+		out.Seen += st.Seen
+		out.SampleStage += st.SampleStage
+		out.LoadStage += st.LoadStage
+		out.TrainStage += st.TrainStage
+	}
+	out.Utilization = m.Utilization(start, end)
+	after := m.Fabric.Counters
+	out.SampleWire = after.TotalWire(hw.TrafficSample) - before.TotalWire(hw.TrafficSample)
+	out.FeatureWire = after.TotalWire(hw.TrafficFeature) - before.TotalWire(hw.TrafficFeature)
+	out.GradWire = after.TotalWire(hw.TrafficGradient) - before.TotalWire(hw.TrafficGradient)
+	return out, nil
+}
+
+// withOverhead prefixes every stage with the host-side framework cost.
+func withOverhead(s pipeline.Stages, overhead sim.Time) pipeline.Stages {
+	if overhead <= 0 {
+		return s
+	}
+	sample, load, train := s.Sample, s.Load, s.Train
+	s.Sample = func(p *sim.Proc, step int) interface{} {
+		p.Sleep(overhead)
+		return sample(p, step)
+	}
+	s.Load = func(p *sim.Proc, step int, v interface{}) interface{} {
+		p.Sleep(overhead)
+		return load(p, step, v)
+	}
+	s.Train = func(p *sim.Proc, step int, v interface{}) {
+		p.Sleep(overhead)
+		train(p, step, v)
+	}
+	return s
+}
+
+// withStageTiming accumulates per-stage virtual durations into st.
+func withStageTiming(s pipeline.Stages, st *EpochStats) pipeline.Stages {
+	sample, load, train := s.Sample, s.Load, s.Train
+	s.Sample = func(p *sim.Proc, step int) interface{} {
+		t0 := p.Now()
+		v := sample(p, step)
+		st.SampleStage += p.Now() - t0
+		return v
+	}
+	s.Load = func(p *sim.Proc, step int, v interface{}) interface{} {
+		t0 := p.Now()
+		out := load(p, step, v)
+		st.LoadStage += p.Now() - t0
+		return out
+	}
+	s.Train = func(p *sim.Proc, step int, v interface{}) {
+		t0 := p.Now()
+		train(p, step, v)
+		st.TrainStage += p.Now() - t0
+	}
+	return s
+}
+
+// withTraceSpans records one span per worker stage per step.
+func withTraceSpans(s pipeline.Stages, tr *trace.Tracer, rank int) pipeline.Stages {
+	sample, load, train := s.Sample, s.Load, s.Train
+	s.Sample = func(p *sim.Proc, step int) interface{} {
+		t0 := p.Now()
+		v := sample(p, step)
+		tr.Complete(fmt.Sprintf("sample step %d", step), "stage", rank, 10, float64(t0), float64(p.Now()), nil)
+		return v
+	}
+	s.Load = func(p *sim.Proc, step int, v interface{}) interface{} {
+		t0 := p.Now()
+		out := load(p, step, v)
+		tr.Complete(fmt.Sprintf("load step %d", step), "stage", rank, 11, float64(t0), float64(p.Now()), nil)
+		return out
+	}
+	s.Train = func(p *sim.Proc, step int, v interface{}) {
+		t0 := p.Now()
+		train(p, step, v)
+		tr.Complete(fmt.Sprintf("train step %d", step), "stage", rank, 12, float64(t0), float64(p.Now()), nil)
+	}
+	return s
+}
+
+// Trainer is the data-parallel trainer worker shared by DSP and every
+// baseline: forward/backward (real or nominal-cost), gradient allreduce,
+// synchronous update. All systems execute the same BSP training logic —
+// which is why their accuracy-versus-batch curves coincide (Figure 9a).
+type Trainer struct {
+	Opts   Options
+	Comm   *comm.Communicator
+	Models []*nn.Model
+	Optims []nn.Optimizer
+	Grad   [][]float32
+}
+
+// NewTrainer builds per-rank model replicas (identical seeds) when
+// RealCompute is set; in cost-only mode it allocates real-size gradient
+// buffers so allreduce wire volume stays exact.
+func NewTrainer(opts Options, c *comm.Communicator) *Trainer {
+	t := &Trainer{Opts: opts, Comm: c}
+	n := opts.Data.NumGPUs()
+	probe := nn.NewModel(opts.Model, opts.Seed)
+	for g := 0; g < n; g++ {
+		t.Grad = append(t.Grad, make([]float32, probe.ParamCount()))
+		if opts.RealCompute {
+			t.Models = append(t.Models, nn.NewModel(opts.Model, opts.Seed))
+			t.Optims = append(t.Optims, nn.NewAdam(opts.LR))
+		}
+	}
+	return t
+}
+
+// Step runs one mini-batch training step on rank's GPU.
+func (t *Trainer) Step(p *sim.Proc, dev *hw.Device, rank int, mb *sample.MiniBatch, feats []float32, st *EpochStats) {
+	if t.Opts.RealCompute {
+		m := t.Models[rank]
+		m.ZeroGrads()
+		if len(mb.Seeds) > 0 {
+			loss, correct, flops := m.TrainStep(mb, feats, SeedLabels(t.Opts.Data, mb))
+			dev.RunKernel(p, hw.KernelCompute, flops)
+			st.Loss += loss
+			st.Correct += correct
+			st.Seen += len(mb.Seeds)
+		}
+		m.GradVector(t.Grad[rank])
+		t.Comm.AllReduceSumScaled(p, rank, t.Grad[rank], hw.TrafficGradient, t.wireDiv())
+		inv := float32(1.0) / float32(t.Comm.N)
+		for i := range t.Grad[rank] {
+			t.Grad[rank][i] *= inv
+		}
+		m.SetGradVector(t.Grad[rank])
+		t.Optims[rank].Step(m)
+		return
+	}
+	// Cost-only: charge nominal kernel work; gradients still move for real.
+	if len(mb.Seeds) > 0 {
+		dev.RunKernel(p, hw.KernelGather, nn.NominalAggBytes(t.Opts.Model, mb))
+		dev.RunKernel(p, hw.KernelCompute, nn.NominalFlops(t.Opts.Model, mb))
+	}
+	t.Comm.AllReduceSumScaled(p, rank, t.Grad[rank], hw.TrafficGradient, t.wireDiv())
+}
+
+func (t *Trainer) wireDiv() float64 {
+	if t.Opts.GradWireScale > 1 {
+		return t.Opts.GradWireScale
+	}
+	return 1
+}

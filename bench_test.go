@@ -131,3 +131,13 @@ func BenchmarkAblationCache(b *testing.B) {
 	t := runExperiment(b, bench.AblationReplicatedCache)
 	b.ReportMetric(t.Get("replicated/uva-MB", "papers")/(t.Get("partitioned/uva-MB", "papers")+1e-9), "uva-traffic-ratio-x")
 }
+
+// BenchmarkServeThroughput runs the online-inference load sweep and reports
+// the batching ablation at the highest offered load.
+func BenchmarkServeThroughput(b *testing.B) {
+	t := runExperiment(b, bench.ServeLoad)
+	hi := t.Cols[len(t.Cols)-1]
+	b.ReportMetric(t.Get("dynamic p99", hi), "dynamic-p99-ms")
+	b.ReportMetric(t.Get("batch=1 p99", hi), "batch1-p99-ms")
+	b.ReportMetric(t.Get("batch=1 shed%", hi), "batch1-shed-pct")
+}

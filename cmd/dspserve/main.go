@@ -1,0 +1,127 @@
+// Command dspserve runs online GNN inference serving on the simulated
+// multi-GPU machine: a seeded Poisson request stream with power-law node
+// popularity is micro-batched onto the fleet, and the run reports
+// end-to-end latency percentiles, throughput, shed rate and cache hit rate.
+//
+// Usage:
+//
+//	dspserve -dataset products -gpus 4 -duration 1 -rate 4000
+//	dspserve -rate 20000 -mode single          # batching ablation: no batching
+//	dspserve -rate 4000 -skew 1.2 -real        # hotter skew, real fp32 forward
+//	dspserve -rate 8000 -trace serve.json      # per-request Chrome trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/graphio"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/train"
+)
+
+func main() {
+	var (
+		dsName   = flag.String("dataset", "products", "dataset: products, papers, friendster")
+		gpus     = flag.Int("gpus", 4, "simulated GPU count (1-8)")
+		shrink   = flag.Int("shrink", 4, "dataset shrink divisor")
+		dataIn   = flag.String("data", "", "load a prepared .dspd dataset (from dspdata) instead of generating")
+		duration = flag.Float64("duration", 1.0, "arrival window in virtual seconds")
+		rate     = flag.Float64("rate", 4000, "offered load in requests per virtual second")
+		skew     = flag.Float64("skew", 0.8, "power-law popularity exponent (0 = uniform)")
+		mode     = flag.String("mode", "dynamic", "batching policy: dynamic, single, fixed")
+		maxBatch = flag.Int("maxbatch", 32, "max requests per GPU per round")
+		maxWait  = flag.Float64("maxwait", 2e-3, "max queueing delay before a dynamic flush (virtual seconds)")
+		queue    = flag.Int("queue", 0, "admission queue depth per GPU (0 = 4x maxbatch)")
+		seed     = flag.Uint64("seed", 1, "run seed")
+		real     = flag.Bool("real", false, "run the real fp32 forward pass and report predictions")
+		traceTo  = flag.String("trace", "", "write a Chrome trace of the run to this file")
+	)
+	flag.Parse()
+
+	var td *train.Data
+	if *dataIn != "" {
+		var err error
+		td, err = graphio.LoadFile(*dataIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(1)
+		}
+		*gpus = td.NumGPUs()
+		fmt.Printf("loaded %s: %d nodes, %d patches\n", *dataIn, td.G.NumNodes(), *gpus)
+	} else {
+		if *gpus < 1 || *gpus > 8 {
+			fmt.Fprintf(os.Stderr, "dspserve: -gpus must be 1-8 (DGX-1), got %d\n", *gpus)
+			os.Exit(2)
+		}
+		std := gen.StandardDataset(*dsName, *shrink)
+		fmt.Printf("generating %s (%d nodes, scale factor %.0fx)...\n",
+			std.Config.Name, std.Config.Nodes, std.ScaleFactor)
+		d := gen.Generate(std.Config)
+		fmt.Printf("partitioning into %d patches...\n", *gpus)
+		td = train.Prepare(d, *gpus, 13, true)
+		td.ScaleFactor = std.ScaleFactor
+		td.GPUMemBytes = std.GPUMemBytes()
+	}
+
+	var batching serve.Batching
+	switch strings.ToLower(*mode) {
+	case "dynamic":
+		batching = serve.BatchDynamic
+	case "single", "batch=1":
+		batching = serve.BatchSingle
+	case "fixed":
+		batching = serve.BatchFixed
+	default:
+		fmt.Fprintf(os.Stderr, "dspserve: unknown batching mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	cfg := serve.Config{
+		Data:        td,
+		RealCompute: *real,
+		Seed:        *seed,
+		Duration:    sim.Time(*duration),
+		Rate:        *rate,
+		Skew:        *skew,
+		Batching:    batching,
+		MaxBatch:    *maxBatch,
+		MaxWait:     sim.Time(*maxWait),
+		QueueDepth:  *queue,
+		UseCCC:      true,
+	}
+	if *traceTo != "" {
+		cfg.Tracer = trace.New()
+	}
+
+	fmt.Printf("serving %s on %d GPUs: %s batching, %.0f req/s for %.2fs...\n",
+		td.Name, *gpus, batching, *rate, *duration)
+	rep, err := serve.Serve(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep)
+
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(1)
+		}
+		if err := cfg.Tracer.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *traceTo, cfg.Tracer.Len())
+	}
+}

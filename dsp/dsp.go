@@ -33,6 +33,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/nn"
 	"repro/internal/sample"
+	"repro/internal/serve"
 	"repro/internal/train"
 )
 
@@ -162,3 +163,29 @@ func Evaluate(d *Data, m *Model, cfg SampleConfig, maxNodes int, seed uint64) fl
 func SampleReference(g *Graph, seeds []NodeID, cfg SampleConfig, batchSeed uint64) *MiniBatch {
 	return sample.Reference(g, seeds, cfg, batchSeed)
 }
+
+// Online inference serving, re-exported from internal/serve.
+type (
+	// ServeConfig describes one online-inference serving run.
+	ServeConfig = serve.Config
+	// ServeReport summarises a serving run: latency percentiles,
+	// throughput, shed rate and cache hit rate.
+	ServeReport = serve.Report
+	// ServeBatching selects the micro-batching policy.
+	ServeBatching = serve.Batching
+)
+
+// Micro-batching policies for online serving.
+const (
+	// BatchDynamic flushes on a full batch or a max-wait timeout.
+	BatchDynamic = serve.BatchDynamic
+	// BatchSingle dispatches every request alone (ablation baseline).
+	BatchSingle = serve.BatchSingle
+	// BatchFixed flushes only on a full batch.
+	BatchFixed = serve.BatchFixed
+)
+
+// Serve runs online GNN inference on the simulated fleet: a seeded Poisson
+// request stream with power-law node popularity, micro-batched per the
+// configured policy onto collective sample/gather/forward rounds.
+func Serve(cfg ServeConfig) (*ServeReport, error) { return serve.Serve(cfg) }

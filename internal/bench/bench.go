@@ -307,6 +307,7 @@ var Experiments = map[string]func(w io.Writer, cfg RunConfig) error{
 	"ablation-workers":  runnerFor(AblationMultiWorker),
 	"ext-multimachine":  runnerFor(AblationMultiMachine),
 	"ext-gnn-archs":     runnerFor(ExtensionGNNArchs),
+	"serve-load":        runnerFor(ServeLoad),
 }
 
 // ExperimentNames returns the registry keys sorted.

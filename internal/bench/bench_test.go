@@ -399,3 +399,31 @@ func TestExtensionGNNArchOrdering(t *testing.T) {
 		}
 	}
 }
+
+func TestServeLoadShape(t *testing.T) {
+	tab, err := ServeLoad(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := tab.Cols[0], tab.Cols[len(tab.Cols)-1]
+	// batch=1 exhibits the hockey stick: tail latency explodes past its
+	// saturation point and admission control sheds heavily.
+	if s1lo, s1hi := tab.Get("batch=1 p99", lo), tab.Get("batch=1 p99", hi); s1hi < 5*s1lo {
+		t.Errorf("batch=1 p99 should explode past saturation: %.3f -> %.3f ms", s1lo, s1hi)
+	}
+	if shed := tab.Get("batch=1 shed%", hi); shed <= 10 {
+		t.Errorf("batch=1 should shed heavily at %s, got %.1f%%", hi, shed)
+	}
+	// Dynamic micro-batching strictly beats batch=1 at high load on both
+	// tail latency and shed rate.
+	if d, s := tab.Get("dynamic p99", hi), tab.Get("batch=1 p99", hi); d >= s {
+		t.Errorf("dynamic p99 %.3f ms not better than batch=1 %.3f ms at %s", d, s, hi)
+	}
+	if d, s := tab.Get("dynamic shed%", hi), tab.Get("batch=1 shed%", hi); d >= s {
+		t.Errorf("dynamic shed %.1f%% not better than batch=1 %.1f%% at %s", d, s, hi)
+	}
+	// Fixed-batch strands partial batches at low load.
+	if f, d := tab.Get("fixed p99", lo), tab.Get("dynamic p99", lo); f <= d {
+		t.Errorf("fixed p99 %.3f ms should exceed dynamic %.3f ms at %s", f, d, lo)
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/serve"
+	"repro/internal/train"
+)
+
+// serveLoads is the offered-load grid (requests per virtual second) for the
+// latency-vs-load sweep. The top of the grid sits past the fleet's service
+// capacity so the p99 hockey stick and admission-control shedding are both
+// visible.
+var serveLoads = []float64{250, 1000, 4000, 8000, 16000, 32000, 64000}
+
+// serveModes are the batching policies compared by the ablation, paper-style
+// row labels via Batching.String.
+var serveModes = []serve.Batching{serve.BatchDynamic, serve.BatchSingle, serve.BatchFixed}
+
+// ServeLoad sweeps offered load on a 4-GPU DGX-1 serving products-sim and
+// reports tail latency and shed rate per batching policy. Dynamic
+// micro-batching holds the tail flat until saturation; batch=1 pays
+// per-round overhead per request and falls over earliest; fixed-batch
+// (flush only on a full batch) strands partial batches at low load.
+func ServeLoad(cfg RunConfig) (*Table, error) {
+	cols := make([]string, len(serveLoads))
+	for i, r := range serveLoads {
+		cols[i] = fmt.Sprintf("%.0f/s", r)
+	}
+	rows := make([]string, 0, 2*len(serveModes))
+	for _, m := range serveModes {
+		rows = append(rows, m.String()+" p99", m.String()+" shed%")
+	}
+	t := NewTable("Serving: tail latency vs offered load (products-sim, 4 GPUs)", "ms", rows, cols)
+
+	td := prepared("products", 4, cfg.Shrink, false, true)
+	for _, mode := range serveModes {
+		for i, rate := range serveLoads {
+			rep, err := serve.Serve(serveConfig(td, mode, rate))
+			if err != nil {
+				return nil, err
+			}
+			t.Set(mode.String()+" p99", cols[i], 1e3*rep.Latency.P99())
+			t.Set(mode.String()+" shed%", cols[i], 100*rep.ShedRate())
+		}
+	}
+	t.Notes = append(t.Notes,
+		"p99 in virtual ms over a 0.5 s arrival window; shed% is the fraction rejected by admission control",
+		"dynamic flushes on max-batch or max-wait; batch=1 dispatches every request alone; fixed waits for a full batch")
+	return t, nil
+}
+
+// serveConfig assembles the benchmark serving configuration. Unlike the
+// training benchmarks, per-batch fixed costs are NOT divided by
+// batchCountScale: serving micro-batches genuinely are small (1..MaxBatch
+// requests), so per-round overheads carry their real weight.
+func serveConfig(td *train.Data, mode serve.Batching, rate float64) serve.Config {
+	return serve.Config{
+		Data:     td,
+		Seed:     2023,
+		Duration: 0.5,
+		Rate:     rate,
+		Skew:     0.8,
+		Batching: mode,
+		UseCCC:   true,
+	}
+}

@@ -176,6 +176,20 @@ func (w *World) SampleBatchUnfused(p *sim.Proc, rank int, seeds []graph.NodeID, 
 	return w.sampleBatch(p, rank, seeds, cfg, batchSeed, false)
 }
 
+// SampleBatchShared is SampleBatch for callers whose ranks already agree on
+// one batch seed (e.g. the serving path, where a central controller stamps
+// each dispatch round): it skips the seed AllGather — one less collective
+// per round on the latency-critical path — and otherwise runs the identical
+// shuffle/sample/reshuffle sequence. All ranks must call it together with
+// the same sharedSeed.
+func (w *World) SampleBatchShared(p *sim.Proc, rank int, seeds []graph.NodeID, cfg sample.Config, sharedSeed uint64) *sample.MiniBatch {
+	peerSeed := make([]uint64, w.Comm.N)
+	for q := range peerSeed {
+		peerSeed[q] = sharedSeed
+	}
+	return w.sampleLayers(p, rank, seeds, cfg, sharedSeed, peerSeed, true)
+}
+
 func (w *World) sampleBatch(p *sim.Proc, rank int, seeds []graph.NodeID, cfg sample.Config, batchSeed uint64, fused bool) *sample.MiniBatch {
 	// Exchange batch seeds so owners can seed draws for any requester.
 	seedsAll := comm.AllGather(w.Comm, p, rank, []uint64{batchSeed}, 8, hw.TrafficOther)
@@ -183,7 +197,10 @@ func (w *World) sampleBatch(p *sim.Proc, rank int, seeds []graph.NodeID, cfg sam
 	for q := range peerSeed {
 		peerSeed[q] = seedsAll[q][0]
 	}
+	return w.sampleLayers(p, rank, seeds, cfg, batchSeed, peerSeed, fused)
+}
 
+func (w *World) sampleLayers(p *sim.Proc, rank int, seeds []graph.NodeID, cfg sample.Config, batchSeed uint64, peerSeed []uint64, fused bool) *sample.MiniBatch {
 	mb := &sample.MiniBatch{Seeds: seeds, Seed: batchSeed}
 	dst := seeds
 	blocks := make([]*sample.Block, 0, cfg.Layers())

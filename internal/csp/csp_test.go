@@ -370,3 +370,45 @@ func TestRandomWalkBiasedFollowsWeights(t *testing.T) {
 		t.Fatalf("heavy edge taken %.2f of the time, want ~0.9", frac)
 	}
 }
+
+func TestSampleBatchSharedMatchesReference(t *testing.T) {
+	// The serving path's shared-seed variant must produce exactly the
+	// batches a single-address-space sampler seeded with the same shared
+	// seed would: per rank, Reference(seeds[r], sharedSeed).
+	tw := buildWorld(t, 4, false)
+	cfg := sample.Config{Fanout: []int{6, 4}}
+	shared := rng.Mix(4242, 1)
+	got := runCollective(t, tw, func(p *sim.Proc, rank int) *sample.MiniBatch {
+		return tw.w.SampleBatchShared(p, rank, tw.seeds[rank], cfg, shared)
+	})
+	for r := range got {
+		want := sample.Reference(tw.g, tw.seeds[r], cfg, shared)
+		if err := sameBatch(got[r], want); err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestSampleBatchSharedEmptyRank(t *testing.T) {
+	// Serving rounds routinely dispatch work to a subset of GPUs; idle
+	// ranks pass empty seed slices but must still serve remote tasks.
+	tw := buildWorld(t, 4, false)
+	cfg := sample.Config{Fanout: []int{6, 4}}
+	shared := rng.Mix(4242, 2)
+	got := runCollective(t, tw, func(p *sim.Proc, rank int) *sample.MiniBatch {
+		seeds := tw.seeds[rank]
+		if rank != 1 {
+			seeds = nil
+		}
+		return tw.w.SampleBatchShared(p, rank, seeds, cfg, shared)
+	})
+	want := sample.Reference(tw.g, tw.seeds[1], cfg, shared)
+	if err := sameBatch(got[1], want); err != nil {
+		t.Errorf("rank 1: %v", err)
+	}
+	for _, r := range []int{0, 2, 3} {
+		if len(got[r].Seeds) != 0 {
+			t.Errorf("idle rank %d produced seeds", r)
+		}
+	}
+}

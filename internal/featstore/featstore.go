@@ -149,6 +149,30 @@ func (s *Store) Split(ids []graph.NodeID, g int) (local []graph.NodeID, remote [
 	return local, remote, host
 }
 
+// CachedFraction returns the weight-fraction of expected feature reads that
+// any GPU cache can serve (LocalGPU or RemoteGPU placements), given a
+// per-node access weight (e.g. a serving workload's popularity
+// distribution). A nil weights slice weighs all nodes equally. This is the
+// expected GPU-cache hit rate of the placement under that access pattern.
+func (s *Store) CachedFraction(weights []float64) float64 {
+	n := len(s.features) / s.Dim
+	var total, hit float64
+	for v := 0; v < n; v++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[v]
+		}
+		total += w
+		if p, _ := s.Locate(graph.NodeID(v), 0); p != HostMemory {
+			hit += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return hit / total
+}
+
 // Scores computes the policy ranking scores for all nodes.
 func Scores(g *graph.CSR, policy Policy) []float64 {
 	n := g.NumNodes()

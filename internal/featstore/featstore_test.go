@@ -310,3 +310,36 @@ func TestHugeBudgetCachesEverything(t *testing.T) {
 		}
 	}
 }
+
+func TestCachedFractionWeighted(t *testing.T) {
+	f := build(t, 2)
+	n := f.g.NumNodes()
+	// Budget for a quarter of the rows per GPU.
+	budget := int64(n/4) * int64(f.d.FeatDim*4)
+	s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, budget, ByDegree)
+
+	uni := s.CachedFraction(nil)
+	if uni <= 0 || uni >= 1 {
+		t.Fatalf("uniform cached fraction %g out of (0,1)", uni)
+	}
+	// Weighting by degree (the cache policy itself) must not lower the hit
+	// rate versus uniform access: the cache holds the highest-degree rows.
+	w := make([]float64, n)
+	for v := 0; v < n; v++ {
+		w[v] = float64(f.g.Degree(graph.NodeID(v))) + 1
+	}
+	if hot := s.CachedFraction(w); hot < uni {
+		t.Fatalf("degree-weighted fraction %g < uniform %g", hot, uni)
+	}
+	// All-mass-on-one-node is exactly its Locate result.
+	solo := make([]float64, n)
+	solo[0] = 1
+	p, _ := s.Locate(0, 0)
+	want := 0.0
+	if p != HostMemory {
+		want = 1.0
+	}
+	if got := s.CachedFraction(solo); got != want {
+		t.Fatalf("solo fraction %g, want %g", got, want)
+	}
+}

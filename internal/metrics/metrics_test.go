@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram not inert: %s", h)
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	h := New()
+	h.Observe(0.042)
+	if h.Min() != 0.042 || h.Max() != 0.042 || h.Mean() != 0.042 {
+		t.Fatalf("min/max/mean wrong: %s", h)
+	}
+	// Every quantile of a single observation is that observation (the clamp
+	// to [min, max] makes this exact despite bucketing).
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0.042 {
+			t.Fatalf("Quantile(%g) = %g, want 0.042", q, got)
+		}
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	// Uniform values over [1ms, 100ms]: quantiles must land within the
+	// bucket resolution of the true value.
+	h := New()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		h.Observe(0.001 + 0.099*float64(i)/(n-1))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 0.0505}, {0.95, 0.09505}, {0.99, 0.09901},
+	} {
+		got := h.Quantile(tc.q)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.03 {
+			t.Errorf("Quantile(%g) = %g, want %g ±3%% (err %.2f%%)",
+				tc.q, got, tc.want, 100*rel)
+		}
+	}
+}
+
+func TestZeroAndNegativeObservations(t *testing.T) {
+	h := New()
+	h.Observe(0)
+	h.Observe(-1)
+	h.Observe(5)
+	if h.Count() != 3 || h.Min() != -1 || h.Max() != 5 {
+		t.Fatalf("stats wrong: %s", h)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("median of {-1,0,5} est = %g, want 0", got)
+	}
+}
+
+func TestMergeEquivalentToCombinedStream(t *testing.T) {
+	r := rng.New(7)
+	a, b, both := New(), New(), New()
+	for i := 0; i < 5000; i++ {
+		v := r.Exp(1000) // exponential latencies, mean 1ms
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		both.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() || a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merged stats differ: %s vs %s", a, both)
+	}
+	// Sum differs only by float addition order.
+	if math.Abs(a.Sum()-both.Sum()) > 1e-12*both.Sum() {
+		t.Fatalf("merged sum %g != combined %g", a.Sum(), both.Sum())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("Quantile(%g): merged %g != combined %g",
+				q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+}
+
+func TestMergeEmptyAndNil(t *testing.T) {
+	h := New()
+	h.Observe(1)
+	h.Merge(nil)
+	h.Merge(New())
+	if h.Count() != 1 || h.Min() != 1 {
+		t.Fatalf("merge with empty corrupted state: %s", h)
+	}
+	e := New()
+	e.Merge(h)
+	if e.Count() != 1 || e.Min() != 1 || e.Max() != 1 {
+		t.Fatalf("merge into empty lost state: %s", e)
+	}
+}
+
+func TestDeterministicQueries(t *testing.T) {
+	build := func() *Histogram {
+		h := New()
+		r := rng.New(3)
+		for i := 0; i < 1000; i++ {
+			h.Observe(r.Exp(500))
+		}
+		return h
+	}
+	h1, h2 := build(), build()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if h1.Quantile(q) != h2.Quantile(q) {
+			t.Fatal("identical streams gave different quantiles")
+		}
+	}
+	if h1.String() != h2.String() {
+		t.Fatal("identical streams gave different summaries")
+	}
+}

@@ -372,6 +372,30 @@ func NominalFlops(cfg Config, mb *sample.MiniBatch) int64 {
 	return total
 }
 
+// NominalForwardFlops estimates the floating-point work of a forward-only
+// (inference) pass: the same per-layer dense and aggregation terms as
+// NominalFlops without the two backward matmuls per forward matmul.
+func NominalForwardFlops(cfg Config, mb *sample.MiniBatch) int64 {
+	var total int64
+	for l, b := range mb.Blocks {
+		in, out := cfg.dims(l)
+		var dense, agg int64
+		switch cfg.Arch {
+		case GAT:
+			dense = 2 * int64(len(b.InputNodes)) * int64(in) * int64(out)
+			agg = 12 * int64(len(b.Src)) * int64(out)
+		case SAGE:
+			dense = 4 * int64(len(b.Dst)) * int64(in) * int64(out)
+			agg = 2 * int64(len(b.Src)) * int64(in)
+		default:
+			dense = 2 * int64(len(b.Dst)) * int64(in) * int64(out)
+			agg = 2 * int64(len(b.Src)) * int64(in)
+		}
+		total += dense + agg
+	}
+	return total
+}
+
 // NominalAggBytes estimates the memory traffic of the aggregation kernels
 // (edges × feature width), charged to the gather cost model.
 func NominalAggBytes(cfg Config, mb *sample.MiniBatch) int64 {

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Report summarises one serving run. All quantities are deterministic
+// functions of the Config (same seed → bitwise-identical report, including
+// every per-request latency in Requests).
+type Report struct {
+	// Horizon is the configured arrival window; Makespan the virtual time
+	// at which the last round drained.
+	Horizon  sim.Time
+	Makespan sim.Time
+	// Offered is the configured arrival rate (req/s); Throughput the
+	// completed-request rate over the makespan.
+	Offered    float64
+	Throughput float64
+
+	Arrived   int
+	Completed int
+	Shed      int
+	Rounds    int
+	// MeanBatch is the mean number of requests per round per GPU slot that
+	// carried at least one request.
+	MeanBatch float64
+
+	// Latency is the fleet-wide end-to-end latency distribution (seconds);
+	// PerGPU the per-GPU components it was merged from.
+	Latency *metrics.Histogram
+	PerGPU  []*metrics.Histogram
+
+	// Feature-read placement counts across all rounds (rows).
+	LocalRows, RemoteRows, HostRows int64
+	// ExpectedHitRate is the popularity-weighted fraction of reads the GPU
+	// caches should serve under this workload (featstore.CachedFraction).
+	ExpectedHitRate float64
+
+	// Requests holds every completed request sorted by ID — the per-request
+	// latency trace used by the determinism tests.
+	Requests []*Request
+}
+
+func (s *Server) report(end sim.Time) *Report {
+	r := &Report{
+		Horizon:         s.cfg.Duration,
+		Makespan:        end,
+		Offered:         s.cfg.Rate,
+		Arrived:         s.arrived,
+		Completed:       len(s.completed),
+		Shed:            s.shed,
+		Rounds:          s.rounds,
+		Latency:         metrics.New(),
+		PerGPU:          s.latency,
+		LocalRows:       s.localRows,
+		RemoteRows:      s.remoteRows,
+		HostRows:        s.hostRows,
+		ExpectedHitRate: s.ExpectedCacheHitRate(),
+		Requests:        s.completed,
+	}
+	for _, h := range s.latency {
+		r.Latency.Merge(h)
+	}
+	if end > 0 {
+		r.Throughput = float64(len(s.completed)) / float64(end)
+	}
+	if s.rounds > 0 {
+		r.MeanBatch = float64(s.batchSum) / float64(s.rounds*len(s.latency))
+	}
+	sort.Slice(r.Requests, func(i, j int) bool { return r.Requests[i].ID < r.Requests[j].ID })
+	return r
+}
+
+// ShedRate is the fraction of arrivals rejected by admission control.
+func (r *Report) ShedRate() float64 {
+	if r.Arrived == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Arrived)
+}
+
+// CacheHitRate is the measured fraction of feature rows served from any GPU
+// cache (local or NVLink-remote) rather than host memory.
+func (r *Report) CacheHitRate() float64 {
+	total := r.LocalRows + r.RemoteRows + r.HostRows
+	if total == 0 {
+		return 0
+	}
+	return float64(r.LocalRows+r.RemoteRows) / float64(total)
+}
+
+// String renders the operator-facing summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "horizon %.2fs  makespan %.2fs  offered %.0f req/s\n",
+		float64(r.Horizon), float64(r.Makespan), r.Offered)
+	fmt.Fprintf(&b, "arrived %d  completed %d  shed %d (%.1f%%)  rounds %d  mean batch %.1f\n",
+		r.Arrived, r.Completed, r.Shed, 100*r.ShedRate(), r.Rounds, r.MeanBatch)
+	fmt.Fprintf(&b, "throughput %.0f req/s\n", r.Throughput)
+	fmt.Fprintf(&b, "latency  p50 %.3fms  p95 %.3fms  p99 %.3fms  mean %.3fms  max %.3fms\n",
+		1e3*r.Latency.P50(), 1e3*r.Latency.P95(), 1e3*r.Latency.P99(),
+		1e3*r.Latency.Mean(), 1e3*r.Latency.Max())
+	fmt.Fprintf(&b, "feature reads  local %d  nvlink %d  host %d  (gpu-cache hit %.1f%%, expected %.1f%%)",
+		r.LocalRows, r.RemoteRows, r.HostRows, 100*r.CacheHitRate(), 100*r.ExpectedHitRate)
+	return b.String()
+}

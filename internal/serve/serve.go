@@ -1,0 +1,694 @@
+// Package serve implements online GNN inference serving on the same
+// simulated multi-GPU fleet the trainer uses — the first step from "paper
+// reproduction" toward a system that serves live traffic.
+//
+// Architecture: a seeded open-loop workload generator produces Poisson
+// request arrivals with power-law node popularity. Requests are admitted
+// into bounded per-GPU queues (routed to the GPU owning the target node's
+// patch); arrivals beyond the bound are shed. A frontend controller batches
+// admitted requests into dispatch rounds — flushing when any queue reaches
+// MaxBatch or the oldest admitted request has waited MaxWait virtual time —
+// and every round executes collectively on all GPUs: CSP
+// shuffle/sample/reshuffle builds the multi-hop neighbourhoods (GPUs with no
+// requests this round still serve remote sampling tasks), the feature
+// loader fetches rows from the partitioned cache (NVLink all-to-all for
+// remote hot rows, UVA for cold rows), and a forward-only pass produces the
+// predictions. Sampling and execution pipeline over consecutive rounds
+// through bounded queues, with all collective launches ordered by CCC so
+// concurrent rounds cannot deadlock — exactly the paper's training-side
+// machinery, repurposed for latency-bounded inference.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/csp"
+	"repro/internal/featstore"
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+	"repro/internal/sample"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/train"
+)
+
+// Batching selects the micro-batching policy of the frontend controller.
+type Batching int
+
+const (
+	// BatchDynamic flushes when a queue reaches MaxBatch OR the oldest
+	// admitted request has waited MaxWait — large batches under load, low
+	// latency when idle (the serving default).
+	BatchDynamic Batching = iota
+	// BatchSingle dispatches at most one request per GPU per round (no
+	// batching — the latency-optimal policy at very low load, collapsing
+	// under high load since every request pays the full round overhead).
+	BatchSingle
+	// BatchFixed flushes only full MaxBatch batches (throughput-optimal
+	// under saturation, pathological at low load: partial batches wait
+	// until the run drains).
+	BatchFixed
+)
+
+func (b Batching) String() string {
+	switch b {
+	case BatchSingle:
+		return "batch=1"
+	case BatchFixed:
+		return "fixed"
+	default:
+		return "dynamic"
+	}
+}
+
+// Worker ids for communication coordination (one gated communicator per
+// worker group, as in training).
+const (
+	samplerWorker = iota
+	execWorker
+)
+
+// Config describes one serving run. Data, Duration and Rate are required.
+type Config struct {
+	Data *train.Data
+	GPU  hw.GPUSpec
+	CPU  hw.CPUSpec
+	// Model is the forward pass served; defaults to a 2-layer GraphSAGE
+	// sized to the dataset.
+	Model nn.Config
+	// Sample is the neighbourhood expansion per request; defaults to
+	// fan-out [10, 5].
+	Sample sample.Config
+	// RealCompute runs the actual fp32 forward math and records argmax
+	// predictions; false charges nominal kernel costs only.
+	RealCompute bool
+	Seed        uint64
+
+	// Duration is the virtual-time horizon of the arrival process.
+	Duration sim.Time
+	// Rate is the offered load in requests per virtual second.
+	Rate float64
+	// Skew is the power-law popularity exponent (0 = uniform).
+	Skew float64
+
+	Batching Batching
+	// MaxBatch bounds per-GPU requests per round (default 32).
+	MaxBatch int
+	// MaxWait bounds queueing delay before a dynamic flush (default 2 ms).
+	MaxWait sim.Time
+	// QueueDepth bounds each GPU's admission queue; arrivals beyond it are
+	// shed (default 4×MaxBatch).
+	QueueDepth int
+	// QueueCap is the sampler→executor pipeline depth (default 2).
+	QueueCap int
+	UseCCC   bool
+
+	FeatureCacheBudget int64
+	TopoCacheBudget    int64
+	// CachePolicy selects the hot-node criterion (0 = by degree).
+	CachePolicy int
+	// StageOverhead is the host-side cost per worker stage per round
+	// (default 0.5 ms; negative disables). Divided by LatencyScale.
+	StageOverhead sim.Time
+	// LatencyScale divides per-message link latencies (benchmark scaling).
+	LatencyScale float64
+
+	// Tracer, when set, records per-request spans, round spans, queue-depth
+	// counters and shed markers.
+	Tracer *trace.Tracer
+}
+
+func (c Config) defaults() Config {
+	if c.GPU.Threads == 0 {
+		c.GPU = hw.V100()
+	}
+	if c.Data != nil && c.Data.GPUMemBytes > 0 {
+		c.GPU.MemBytes = c.Data.GPUMemBytes
+	}
+	if c.CPU.Cores == 0 {
+		c.CPU = hw.XeonE5()
+	}
+	if c.Model.Layers == 0 {
+		c.Model = nn.Config{Arch: nn.SAGE, InDim: c.Data.FeatDim, Hidden: 64,
+			Classes: c.Data.NumClasses, Layers: 2}
+	}
+	if c.Model.InDim == 0 {
+		c.Model.InDim = c.Data.FeatDim
+	}
+	if c.Model.Classes == 0 {
+		c.Model.Classes = c.Data.NumClasses
+	}
+	if len(c.Sample.Fanout) == 0 {
+		c.Sample.Fanout = []int{10, 5}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2e-3
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 2
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Data == nil {
+		return fmt.Errorf("serve: Config.Data is required")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("serve: Config.Duration must be positive")
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("serve: Config.Rate must be positive")
+	}
+	if len(c.Sample.Fanout) != 0 && c.Model.Layers != 0 &&
+		len(c.Sample.Fanout) != c.Model.Layers {
+		return fmt.Errorf("serve: fan-out depth %d != model layers %d",
+			len(c.Sample.Fanout), c.Model.Layers)
+	}
+	return nil
+}
+
+// effectiveOverhead mirrors train.Options.EffectiveStageOverhead with a
+// serving-appropriate 0.5 ms default (an inference server launches rounds
+// from a compiled runtime, not a Python training loop).
+func (c Config) effectiveOverhead() sim.Time {
+	ov := c.StageOverhead
+	switch {
+	case ov < 0:
+		return 0
+	case ov == 0:
+		ov = 0.5e-3
+	}
+	if c.LatencyScale > 1 {
+		ov /= sim.Time(c.LatencyScale)
+	}
+	return ov
+}
+
+// Request is one node-classification inference request and its lifecycle
+// timestamps (virtual seconds).
+type Request struct {
+	ID      int
+	Node    graph.NodeID
+	GPU     int
+	Arrival sim.Time
+	Start   sim.Time // round dispatch time
+	Done    sim.Time
+	Round   int
+	Batch   int   // number of requests in its round on its GPU
+	Pred    int32 // argmax class (RealCompute), else -1
+}
+
+// Latency is the end-to-end request latency.
+func (r *Request) Latency() sim.Time { return r.Done - r.Arrival }
+
+// round is one collective dispatch: every GPU samples and executes it, with
+// reqs[g] the requests admitted to GPU g (possibly empty).
+type round struct {
+	id    int
+	seed  uint64
+	start sim.Time
+	reqs  [][]*Request
+}
+
+// execItem carries a sampled round from the sampler to the executor.
+type execItem struct {
+	rd *round
+	mb *sample.MiniBatch
+}
+
+// Server is a configured single-run serving instance. Build with NewServer,
+// execute with Run (or use the Serve convenience wrapper).
+type Server struct {
+	cfg      Config
+	m        *hw.Machine
+	world    *csp.World
+	store    *featstore.Store
+	coord    *pipeline.Coordinator
+	execComm *comm.Communicator
+	workload *Workload
+	models   []*nn.Model
+	overhead sim.Time
+
+	// run state
+	wake      *sim.Event
+	genDone   bool
+	pending   [][]*Request
+	sampQ     []*sim.Queue
+	execQ     []*sim.Queue
+	dones     []*sim.Event
+	nextRound int
+
+	// accounting
+	arrived, shed int
+	rounds        int
+	batchSum      int64
+	completed     []*Request
+	latency       []*metrics.Histogram
+	localRows     int64
+	remoteRows    int64
+	hostRows      int64
+	zeros         []float32
+}
+
+// NewServer builds the serving fleet: machine, partitioned topology,
+// partitioned feature cache, gated communicators and model replicas — the
+// same data layout the trainer uses, now serving reads.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := cfg.Data
+	n := d.NumGPUs()
+	s := &Server{cfg: cfg, overhead: cfg.effectiveOverhead()}
+	s.m = hw.NewMachineScaled(n, cfg.GPU, cfg.CPU, cfg.LatencyScale)
+	if cfg.Tracer.Enabled() {
+		s.m.SetTracer(cfg.Tracer)
+		for g := 0; g < n; g++ {
+			cfg.Tracer.NameLane(g, 20, "requests")
+			cfg.Tracer.NameLane(g, 21, "serve rounds")
+		}
+		cfg.Tracer.NamePid(n, "frontend")
+	}
+
+	topoBudget := cfg.TopoCacheBudget
+	if topoBudget <= 0 {
+		topoBudget = cfg.GPU.MemBytes * 6 / 10
+	}
+	world, err := csp.NewWorldBudget(s.m, d.G, d.Offsets, topoBudget)
+	if err != nil {
+		return nil, fmt.Errorf("serve: topology layout: %w", err)
+	}
+	s.world = world
+
+	budget := cfg.FeatureCacheBudget
+	if budget <= 0 {
+		budget = s.minFreeMem() * 9 / 10
+	}
+	s.store = featstore.BuildPartitioned(d.G, d.Feats, d.FeatDim, d.Offsets,
+		budget, featstore.Policy(cfg.CachePolicy))
+	for g := 0; g < n; g++ {
+		if err := s.m.GPUs[g].Reserve(s.store.CacheBytes(g)); err != nil {
+			return nil, fmt.Errorf("serve: feature cache: %w", err)
+		}
+	}
+
+	s.coord = pipeline.NewCoordinator(s.m.Eng, n, cfg.UseCCC, 2)
+	s.execComm = comm.New(s.m)
+	if cfg.UseCCC {
+		s.world.Comm.SetGate(s.coord.Gate(samplerWorker))
+		s.execComm.SetGate(s.coord.Gate(execWorker))
+	}
+	if cfg.RealCompute {
+		for g := 0; g < n; g++ {
+			// Identical replicas (same init seed) — any GPU serves any
+			// request, as after BSP training.
+			s.models = append(s.models, nn.NewModel(cfg.Model, cfg.Seed))
+		}
+	}
+	s.workload = NewWorkload(d, cfg.Skew)
+	return s, nil
+}
+
+func (s *Server) minFreeMem() int64 {
+	free := s.m.GPUs[0].MemFree()
+	for _, g := range s.m.GPUs[1:] {
+		if f := g.MemFree(); f < free {
+			free = f
+		}
+	}
+	return free
+}
+
+// Machine exposes the simulated fleet (for utilization inspection).
+func (s *Server) Machine() *hw.Machine { return s.m }
+
+// Store exposes the feature placement (for cache assertions).
+func (s *Server) Store() *featstore.Store { return s.store }
+
+// Workload exposes the popularity model.
+func (s *Server) Workload() *Workload { return s.workload }
+
+// ExpectedCacheHitRate is the weight-fraction of feature reads the GPU
+// caches can serve under this workload's popularity distribution.
+func (s *Server) ExpectedCacheHitRate() float64 {
+	return s.store.CachedFraction(s.workload.Weights())
+}
+
+// Run executes the serving simulation to completion and reports results.
+// A Server is single-use: Run consumes the virtual machine.
+func (s *Server) Run() (*Report, error) {
+	n := s.cfg.Data.NumGPUs()
+	eng := s.m.Eng
+	s.wake = eng.NewEvent()
+	s.pending = make([][]*Request, n)
+	for g := 0; g < n; g++ {
+		s.sampQ = append(s.sampQ, eng.NewQueue(1))
+		s.execQ = append(s.execQ, eng.NewQueue(s.cfg.QueueCap))
+		s.latency = append(s.latency, metrics.New())
+		s.dones = append(s.dones, eng.NewEvent())
+	}
+	eng.Go("serve/generator", s.generator)
+	eng.Go("serve/controller", s.controller)
+	for g := 0; g < n; g++ {
+		g := g
+		eng.Go(fmt.Sprintf("gpu%d/serve-sampler", g), func(p *sim.Proc) { s.sampler(p, g) })
+		eng.Go(fmt.Sprintf("gpu%d/serve-exec", g), func(p *sim.Proc) { s.executor(p, g) })
+	}
+	end, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	for g, d := range s.dones {
+		if !d.Fired() {
+			return nil, fmt.Errorf("serve: GPU %d executor did not finish", g)
+		}
+	}
+	return s.report(end), nil
+}
+
+// Serve builds and runs a server in one call.
+func Serve(cfg Config) (*Report, error) {
+	s, err := NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// signal wakes the controller: trigger-and-replace, the event-based
+// condition variable pattern (events are one-shot).
+func (s *Server) signal() {
+	old := s.wake
+	s.wake = s.m.Eng.NewEvent()
+	old.Trigger()
+}
+
+// generator is the open-loop arrival process: Poisson gaps at cfg.Rate until
+// the horizon, each arrival routed to its owner GPU's admission queue or
+// shed when that queue is full.
+func (s *Server) generator(p *sim.Proc) {
+	cfg := s.cfg
+	r := rng.New(rng.Mix(cfg.Seed, 0xA221A1))
+	n := cfg.Data.NumGPUs()
+	id := 0
+	for {
+		p.Sleep(sim.Time(r.Exp(cfg.Rate)))
+		if p.Now() >= cfg.Duration {
+			break
+		}
+		node := s.workload.Draw(r)
+		g := s.workload.Owner(node)
+		s.arrived++
+		if len(s.pending[g]) >= cfg.QueueDepth {
+			s.shed++
+			cfg.Tracer.Instant("shed", "serve", n, 0, float64(p.Now()),
+				map[string]string{"node": fmt.Sprint(node), "gpu": fmt.Sprint(g)})
+			continue
+		}
+		s.pending[g] = append(s.pending[g], &Request{
+			ID: id, Node: node, GPU: g, Arrival: p.Now(), Pred: -1,
+		})
+		id++
+		s.traceDepth(p.Now())
+		s.signal()
+	}
+	s.genDone = true
+	s.signal()
+}
+
+// traceDepth samples every GPU's admission-queue depth as one counter event.
+func (s *Server) traceDepth(now sim.Time) {
+	tr := s.cfg.Tracer
+	if !tr.Enabled() {
+		return
+	}
+	vals := make(map[string]float64, len(s.pending))
+	for g := range s.pending {
+		vals[fmt.Sprintf("gpu%d", g)] = float64(len(s.pending[g]))
+	}
+	tr.Counter("admission-queue", len(s.pending), float64(now), vals)
+}
+
+// controller is the frontend micro-batcher: it watches the admission queues
+// and dispatches collective rounds according to the batching policy.
+func (s *Server) controller(p *sim.Proc) {
+	for {
+		total := 0
+		for g := range s.pending {
+			total += len(s.pending[g])
+		}
+		if total == 0 {
+			if s.genDone {
+				break
+			}
+			s.wake.Wait(p)
+			continue
+		}
+		flush, deadline := s.flushDecision(p.Now())
+		if !flush && !s.genDone {
+			if deadline < 0 {
+				s.wake.Wait(p) // no deadline: wait for arrivals (BatchFixed)
+				continue
+			}
+			// Only sleep if the timer actually advances virtual time;
+			// a deadline at (or within one float ulp of) now must flush
+			// instead, or the controller would spin at a frozen instant.
+			if d := deadline - p.Now(); d > 0 && p.Now()+d > p.Now() {
+				s.wake.WaitTimeout(p, d)
+				continue
+			}
+		}
+		// flush — or the arrival process ended, in which case partial
+		// batches drain so no admitted request is stranded.
+		s.dispatch(p)
+	}
+	for g := range s.sampQ {
+		s.sampQ[g].Close()
+	}
+}
+
+// flushDecision applies the batching policy: whether to dispatch now, and if
+// not, the virtual deadline at which to re-check (-1 = none, wait for
+// arrivals).
+func (s *Server) flushDecision(now sim.Time) (flush bool, deadline sim.Time) {
+	cfg := s.cfg
+	switch cfg.Batching {
+	case BatchSingle:
+		return true, -1
+	case BatchFixed:
+		for g := range s.pending {
+			if len(s.pending[g]) >= cfg.MaxBatch {
+				return true, -1
+			}
+		}
+		return false, -1
+	default: // BatchDynamic
+		oldest := sim.Time(-1)
+		for g := range s.pending {
+			if len(s.pending[g]) >= cfg.MaxBatch {
+				return true, -1
+			}
+			if len(s.pending[g]) > 0 {
+				if a := s.pending[g][0].Arrival; oldest < 0 || a < oldest {
+					oldest = a
+				}
+			}
+		}
+		// Compare against the same expression used as the wake deadline
+		// (oldest+MaxWait, not now-oldest vs MaxWait) so a timer that fires
+		// exactly at the deadline is always seen as expired.
+		if oldest >= 0 && now >= oldest+cfg.MaxWait {
+			return true, -1
+		}
+		return false, oldest + cfg.MaxWait
+	}
+}
+
+// dispatch takes up to MaxBatch (or 1 for BatchSingle) requests off every
+// admission queue and hands the round to all samplers. The Put into each
+// capacity-1 sampler queue is the backpressure point: the controller stalls
+// while both pipeline slots are occupied.
+func (s *Server) dispatch(p *sim.Proc) {
+	cfg := s.cfg
+	take := cfg.MaxBatch
+	if cfg.Batching == BatchSingle {
+		take = 1
+	}
+	rd := &round{
+		id:    s.nextRound,
+		seed:  rng.Mix(cfg.Seed, 0x5E12E, uint64(s.nextRound)),
+		start: p.Now(),
+		reqs:  make([][]*Request, len(s.pending)),
+	}
+	s.nextRound++
+	dispatched := 0
+	for g := range s.pending {
+		k := take
+		if k > len(s.pending[g]) {
+			k = len(s.pending[g])
+		}
+		rd.reqs[g] = s.pending[g][:k:k]
+		s.pending[g] = s.pending[g][k:]
+		dispatched += k
+		s.batchSum += int64(k)
+	}
+	s.rounds++
+	s.traceDepth(p.Now())
+	for g := range s.sampQ {
+		s.sampQ[g].Put(p, rd)
+	}
+}
+
+// sampler is GPU g's sampling worker: every round is a collective CSP call
+// (idle GPUs pass empty seed sets but still serve remote tasks), seeded by
+// the controller's round seed so all ranks agree without a seed exchange.
+func (s *Server) sampler(p *sim.Proc, g int) {
+	for {
+		v, ok := s.sampQ[g].Get(p)
+		if !ok {
+			s.execQ[g].Close()
+			return
+		}
+		rd := v.(*round)
+		p.Sleep(s.overhead)
+		seeds := make([]graph.NodeID, len(rd.reqs[g]))
+		for i, r := range rd.reqs[g] {
+			seeds[i] = r.Node
+		}
+		mb := s.world.SampleBatchShared(p, g, seeds, s.cfg.Sample, rd.seed)
+		s.execQ[g].Put(p, &execItem{rd: rd, mb: mb})
+	}
+}
+
+// executor is GPU g's execution worker: feature load (local gather + NVLink
+// all-to-all + UVA, in parallel) then the forward-only pass, completing
+// every request of the round.
+func (s *Server) executor(p *sim.Proc, g int) {
+	for {
+		v, ok := s.execQ[g].Get(p)
+		if !ok {
+			s.dones[g].Trigger()
+			return
+		}
+		it := v.(*execItem)
+		p.Sleep(s.overhead)
+		feats := s.loadFeatures(p, g, it.mb)
+		preds := s.forward(p, g, it.mb, feats)
+		now := p.Now()
+		batch := len(it.rd.reqs[g])
+		for i, req := range it.rd.reqs[g] {
+			req.Start = it.rd.start
+			req.Done = now
+			req.Round = it.rd.id
+			req.Batch = batch
+			if preds != nil {
+				req.Pred = preds[i]
+			}
+			s.latency[g].Observe(float64(req.Latency()))
+			s.completed = append(s.completed, req)
+			s.cfg.Tracer.Complete(fmt.Sprintf("req %d", req.ID), "request",
+				g, 20, float64(req.Arrival), float64(now),
+				map[string]string{"node": fmt.Sprint(req.Node), "round": fmt.Sprint(req.Round)})
+		}
+		s.cfg.Tracer.Complete(fmt.Sprintf("round %d", it.rd.id), "serve",
+			g, 21, float64(it.rd.start), float64(now),
+			map[string]string{"batch": fmt.Sprint(batch)})
+	}
+}
+
+// loadFeatures mirrors the trainer's loader stage: split by placement, cold
+// rows via UVA concurrently with the NVLink hot-row exchange, then assemble.
+func (s *Server) loadFeatures(p *sim.Proc, g int, mb *sample.MiniBatch) []float32 {
+	d := s.cfg.Data
+	dev := s.m.GPUs[g]
+	ids := mb.InputNodes()
+	local, remote, host := s.store.Split(ids, g)
+	s.localRows += int64(len(local))
+	s.hostRows += int64(len(host))
+	for _, rq := range remote {
+		s.remoteRows += int64(len(rq))
+	}
+	n := s.execComm.N
+
+	uvaDone := s.m.Eng.NewEvent()
+	if len(host) > 0 {
+		s.m.Eng.Go(fmt.Sprintf("gpu%d/serve-uva", g), func(cp *sim.Proc) {
+			dev.UVARead(cp, s.m.Fabric, int64(len(host)), d.RowBytes(), hw.TrafficFeature)
+			uvaDone.Trigger()
+		})
+	} else {
+		uvaDone.Trigger()
+	}
+	if len(local) > 0 {
+		dev.RunKernel(p, hw.KernelGather, int64(len(local))*int64(d.RowBytes()))
+	}
+	if n > 1 {
+		reqIn := comm.AllToAll(s.execComm, p, g, remote, 4, hw.TrafficFeature)
+		var served int64
+		for q := 0; q < n; q++ {
+			served += int64(len(reqIn[q]))
+		}
+		if served > 0 {
+			dev.RunKernel(p, hw.KernelGather, served*int64(d.RowBytes()))
+		}
+		replies := make([][]float32, n)
+		for q := 0; q < n; q++ {
+			replies[q] = s.zeroRows(len(reqIn[q]))
+		}
+		comm.AllToAll(s.execComm, p, g, replies, 4, hw.TrafficFeature)
+	}
+	uvaDone.Wait(p)
+	dev.RunKernel(p, hw.KernelGather, int64(len(ids))*int64(d.RowBytes()))
+	if s.cfg.RealCompute {
+		return train.GatherFeatures(d, mb)
+	}
+	return nil
+}
+
+// forward runs the inference pass and returns per-seed argmax predictions
+// (nil in cost-only mode).
+func (s *Server) forward(p *sim.Proc, g int, mb *sample.MiniBatch, feats []float32) []int32 {
+	if len(mb.Seeds) == 0 {
+		return nil
+	}
+	dev := s.m.GPUs[g]
+	dev.RunKernel(p, hw.KernelGather, nn.NominalAggBytes(s.cfg.Model, mb))
+	dev.RunKernel(p, hw.KernelCompute, nn.NominalForwardFlops(s.cfg.Model, mb))
+	if !s.cfg.RealCompute {
+		return nil
+	}
+	logits, _ := s.models[g].Forward(mb, feats)
+	preds := make([]int32, logits.R)
+	for i := 0; i < logits.R; i++ {
+		row := logits.Row(i)
+		best := 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		preds[i] = int32(best)
+	}
+	return preds
+}
+
+func (s *Server) zeroRows(rows int) []float32 {
+	need := rows * s.cfg.Data.FeatDim
+	if cap(s.zeros) < need {
+		s.zeros = make([]float32, need)
+	}
+	return s.zeros[:need]
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sample"
+	"repro/internal/trace"
+	"repro/internal/train"
+)
+
+func testData(t testing.TB, nGPU int) *train.Data {
+	t.Helper()
+	d := gen.Generate(gen.Config{
+		Name: "serve-t", Nodes: 3000, AvgDegree: 12, FeatDim: 16, NumClasses: 6, Seed: 11,
+	})
+	return train.Prepare(d, nGPU, 1, true)
+}
+
+func testConfig(t testing.TB, nGPU int) Config {
+	t.Helper()
+	return Config{
+		Data:     testData(t, nGPU),
+		Sample:   sample.Config{Fanout: []int{6, 4}},
+		Seed:     42,
+		Duration: 0.05,
+		Rate:     4000,
+		Skew:     0.8,
+		UseCCC:   true,
+	}
+}
+
+func TestServeSmoke(t *testing.T) {
+	rep, err := Serve(testConfig(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if rep.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Completed+rep.Shed != rep.Arrived {
+		t.Fatalf("accounting: completed %d + shed %d != arrived %d",
+			rep.Completed, rep.Shed, rep.Arrived)
+	}
+	if rep.Latency.Count() != uint64(rep.Completed) {
+		t.Fatalf("latency observations %d != completed %d", rep.Latency.Count(), rep.Completed)
+	}
+	for _, req := range rep.Requests {
+		if req.Done < req.Start || req.Start < req.Arrival {
+			t.Fatalf("request %d timestamps out of order: %+v", req.ID, req)
+		}
+	}
+}
+
+// TestServeDeterminism: same seed → bitwise-identical per-request latency
+// trace and predictions; different seed → different arrival process.
+func TestServeDeterminism(t *testing.T) {
+	cfg := testConfig(t, 4)
+	cfg.RealCompute = true
+	a, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Arrived != b.Arrived || a.Completed != b.Completed || a.Shed != b.Shed {
+		t.Fatalf("counts differ: %d/%d/%d vs %d/%d/%d",
+			a.Arrived, a.Completed, a.Shed, b.Arrived, b.Completed, b.Shed)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("request traces differ in length: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		ra, rb := a.Requests[i], b.Requests[i]
+		if ra.ID != rb.ID || ra.Node != rb.Node || ra.GPU != rb.GPU ||
+			ra.Arrival != rb.Arrival || ra.Start != rb.Start || ra.Done != rb.Done ||
+			ra.Round != rb.Round || ra.Batch != rb.Batch || ra.Pred != rb.Pred {
+			t.Fatalf("request %d differs:\n%+v\n%+v", i, ra, rb)
+		}
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("makespan differs: %v vs %v", a.Makespan, b.Makespan)
+	}
+
+	cfg.Seed = 43
+	c, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arrived == a.Arrived && c.Makespan == a.Makespan {
+		t.Fatal("different seed produced identical run")
+	}
+}
+
+// TestServeOverloadSheds: far past saturation the bounded admission queues
+// must shed, and accounting must still balance.
+func TestServeOverloadSheds(t *testing.T) {
+	cfg := testConfig(t, 4)
+	cfg.Rate = 200000
+	cfg.QueueDepth = 8
+	rep, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("no shedding at %vx overload:\n%s", cfg.Rate, rep)
+	}
+	if rep.Completed+rep.Shed != rep.Arrived {
+		t.Fatalf("accounting: completed %d + shed %d != arrived %d",
+			rep.Completed, rep.Shed, rep.Arrived)
+	}
+	if rep.ShedRate() <= 0.2 {
+		t.Fatalf("expected heavy shedding, got %.1f%%", 100*rep.ShedRate())
+	}
+}
+
+// TestServeBatchingAblation: at high offered load dynamic micro-batching
+// must beat batch=1 on tail latency (batch=1 pays per-round overhead per
+// request and saturates earlier).
+func TestServeBatchingAblation(t *testing.T) {
+	base := testConfig(t, 4)
+	base.Rate = 8000
+	run := func(b Batching) *Report {
+		cfg := base
+		cfg.Batching = b
+		rep, err := Serve(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	dyn := run(BatchDynamic)
+	single := run(BatchSingle)
+	t.Logf("dynamic: p99 %.3fms shed %.1f%%", 1e3*dyn.Latency.P99(), 100*dyn.ShedRate())
+	t.Logf("batch=1: p99 %.3fms shed %.1f%%", 1e3*single.Latency.P99(), 100*single.ShedRate())
+	if dyn.Latency.P99() >= single.Latency.P99() {
+		t.Fatalf("dynamic p99 %.3fms not better than batch=1 p99 %.3fms",
+			1e3*dyn.Latency.P99(), 1e3*single.Latency.P99())
+	}
+	if dyn.MeanBatch <= 1.0 {
+		t.Fatalf("dynamic mean batch %.2f should exceed 1", dyn.MeanBatch)
+	}
+}
+
+// TestServeTraceEvents: a traced run emits per-request spans, round spans,
+// queue-depth counters, and (under overload) shed instants.
+func TestServeTraceEvents(t *testing.T) {
+	cfg := testConfig(t, 4)
+	cfg.Rate = 100000
+	cfg.QueueDepth = 8
+	tr := trace.New()
+	cfg.Tracer = tr
+	rep, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans, rounds, counters, sheds int
+	for _, e := range tr.Events() {
+		switch {
+		case e.Ph == "X" && e.Cat == "request":
+			spans++
+		case e.Ph == "X" && e.Cat == "serve":
+			rounds++
+		case e.Ph == "C" && e.Name == "admission-queue":
+			counters++
+		case e.Ph == "i" && e.Name == "shed":
+			sheds++
+		}
+	}
+	if spans != rep.Completed {
+		t.Fatalf("request spans %d != completed %d", spans, rep.Completed)
+	}
+	if rounds == 0 || counters == 0 {
+		t.Fatalf("missing round spans (%d) or counters (%d)", rounds, counters)
+	}
+	if rep.Shed > 0 && sheds != rep.Shed {
+		t.Fatalf("shed instants %d != shed count %d", sheds, rep.Shed)
+	}
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+// Workload is a seeded open-loop request source: Poisson arrivals whose
+// target nodes follow a power-law popularity over the degree ranking —
+// production GNN serving concentrates on hub entities (popular items,
+// high-follower accounts), and on the synthetic power-law datasets the
+// degree ranking is exactly that hot-node concentration.
+type Workload struct {
+	// ranked[i] is the i-th most popular node (layout id).
+	ranked []graph.NodeID
+	// cum[i] is the cumulative popularity mass of ranked[0..i].
+	cum []float64
+	// weights[v] is node v's popularity mass (indexed by node id).
+	weights []float64
+	offsets []int64
+}
+
+// NewWorkload ranks d's nodes by degree and assigns popularity mass
+// proportional to 1/(rank+1)^skew. skew 0 is uniform; ~1 matches the
+// heavy-tailed access patterns of production feature stores.
+func NewWorkload(d *train.Data, skew float64) *Workload {
+	w := &Workload{
+		ranked:  d.G.NodesByDegreeDesc(),
+		offsets: d.Offsets,
+		weights: make([]float64, d.G.NumNodes()),
+	}
+	w.cum = make([]float64, len(w.ranked))
+	var total float64
+	for i, v := range w.ranked {
+		mass := 1.0
+		if skew != 0 {
+			mass = math.Pow(float64(i+1), -skew)
+		}
+		total += mass
+		w.cum[i] = total
+		w.weights[v] = mass
+	}
+	return w
+}
+
+// Draw samples one target node from the popularity distribution.
+func (w *Workload) Draw(r *rng.RNG) graph.NodeID {
+	u := r.Float64() * w.cum[len(w.cum)-1]
+	i := sort.SearchFloat64s(w.cum, u)
+	if i >= len(w.ranked) {
+		i = len(w.ranked) - 1
+	}
+	return w.ranked[i]
+}
+
+// Owner returns the GPU owning node v under the layout partitioning.
+func (w *Workload) Owner(v graph.NodeID) int {
+	// offsets[g] <= v < offsets[g+1]
+	return sort.Search(len(w.offsets)-1, func(g int) bool {
+		return w.offsets[g+1] > int64(v)
+	})
+}
+
+// Weights exposes the per-node popularity mass (for expected cache-hit-rate
+// estimates via featstore.Store.CachedFraction).
+func (w *Workload) Weights() []float64 { return w.weights }

@@ -68,6 +68,7 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	abort  bool
+	gen    uint64 // incremented on every resume; used to discard stale wakeups
 }
 
 // Name returns the process name given to Go.
@@ -120,6 +121,7 @@ func (p *Proc) park(why string) {
 	p.eng.parked[p] = why
 	p.eng.yield <- yieldParked
 	<-p.resume
+	p.gen++
 	delete(p.eng.parked, p)
 	if p.abort {
 		panic(abortSignal{})
@@ -138,7 +140,7 @@ func (p *Proc) Sleep(d Time) {
 	}
 	e := p.eng
 	e.seq++
-	heap.Push(&e.timers, timer{at: e.now + d, seq: e.seq, p: p})
+	heap.Push(&e.timers, timer{at: e.now + d, seq: e.seq, p: p, gen: p.gen})
 	p.park(fmt.Sprintf("sleep until %g", float64(e.now+d)))
 }
 
@@ -167,6 +169,12 @@ func (e *Engine) Run() (Time, error) {
 			break
 		}
 		t := heap.Pop(&e.timers).(timer)
+		if t.gen != t.p.gen {
+			// The process was resumed by another source (e.g. the event half
+			// of WaitTimeout) after this timer was registered. Discard the
+			// stale timer without advancing virtual time.
+			continue
+		}
 		if t.at > e.now {
 			e.now = t.at
 		}
@@ -200,6 +208,7 @@ type timer struct {
 	at  Time
 	seq uint64
 	p   *Proc
+	gen uint64 // p.gen at registration; stale if p resumed since
 }
 
 type timerHeap []timer
@@ -227,7 +236,12 @@ func (h *timerHeap) Pop() interface{} {
 type Event struct {
 	eng     *Engine
 	fired   bool
-	waiters []*Proc
+	waiters []eventWaiter
+}
+
+type eventWaiter struct {
+	p   *Proc
+	gen uint64 // p.gen at registration; stale if p resumed since
 }
 
 // NewEvent creates an untriggered event.
@@ -242,8 +256,10 @@ func (ev *Event) Trigger() {
 		return
 	}
 	ev.fired = true
-	for _, p := range ev.waiters {
-		ev.eng.makeReady(p)
+	for _, w := range ev.waiters {
+		if w.gen == w.p.gen { // skip waiters already woken by their timeout
+			ev.eng.makeReady(w.p)
+		}
 	}
 	ev.waiters = nil
 }
@@ -253,8 +269,28 @@ func (ev *Event) Wait(p *Proc) {
 	if ev.fired {
 		return
 	}
-	ev.waiters = append(ev.waiters, p)
+	ev.waiters = append(ev.waiters, eventWaiter{p, p.gen})
 	p.park("event")
+}
+
+// WaitTimeout parks p until the event fires or d virtual seconds elapse,
+// whichever comes first, and reports whether the event has fired. The losing
+// wakeup source (the pending timer, or the waiter registration) is discarded
+// via the process generation counter, so neither a spurious resume nor an
+// inflated end-of-run time can result. Negative d waits 0.
+func (ev *Event) WaitTimeout(p *Proc, d Time) bool {
+	if ev.fired {
+		return true
+	}
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.seq++
+	heap.Push(&e.timers, timer{at: e.now + d, seq: e.seq, p: p, gen: p.gen})
+	ev.waiters = append(ev.waiters, eventWaiter{p, p.gen})
+	p.park(fmt.Sprintf("event or timeout at %g", float64(e.now+d)))
+	return ev.fired
 }
 
 // Barrier blocks processes until n of them have arrived, then releases the

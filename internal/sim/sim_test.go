@@ -376,3 +376,118 @@ func BenchmarkEngineContextSwitch(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+func TestWaitTimeoutEventFirst(t *testing.T) {
+	e := NewEngine()
+	ev := e.NewEvent()
+	var fired bool
+	var at Time
+	e.Go("waiter", func(p *Proc) {
+		fired = ev.WaitTimeout(p, 10)
+		at = p.Now()
+	})
+	e.Go("trigger", func(p *Proc) {
+		p.Sleep(2)
+		ev.Trigger()
+	})
+	end := mustRun(t, e)
+	if !fired || at != 2 {
+		t.Fatalf("fired=%v at=%v, want event win at t=2", fired, at)
+	}
+	// The stale 10s timeout timer must not drag the end time out to 10.
+	if end != 2 {
+		t.Fatalf("end=%v, want 2 (stale timer inflated the run)", end)
+	}
+}
+
+func TestWaitTimeoutDeadlineFirst(t *testing.T) {
+	e := NewEngine()
+	ev := e.NewEvent()
+	var fired bool
+	var at Time
+	e.Go("waiter", func(p *Proc) {
+		fired = ev.WaitTimeout(p, 3)
+		at = p.Now()
+		// A later Trigger must not resume this process a second time.
+		p.Sleep(5)
+	})
+	e.Go("trigger", func(p *Proc) {
+		p.Sleep(6)
+		ev.Trigger()
+	})
+	end := mustRun(t, e)
+	if fired || at != 3 {
+		t.Fatalf("fired=%v at=%v, want timeout at t=3", fired, at)
+	}
+	if end != 8 {
+		t.Fatalf("end=%v, want 8", end)
+	}
+}
+
+func TestWaitTimeoutAlreadyFired(t *testing.T) {
+	e := NewEngine()
+	ev := e.NewEvent()
+	var fired bool
+	var at Time
+	e.Go("waiter", func(p *Proc) {
+		ev.Trigger()
+		fired = ev.WaitTimeout(p, 5)
+		at = p.Now()
+	})
+	end := mustRun(t, e)
+	if !fired || at != 0 || end != 0 {
+		t.Fatalf("fired=%v at=%v end=%v, want immediate return", fired, at, end)
+	}
+}
+
+func TestWaitTimeoutSameInstantEventWins(t *testing.T) {
+	// Event triggered at exactly the deadline instant, but while the ready
+	// queue is non-empty: the trigger path runs first and must report fired.
+	e := NewEngine()
+	ev := e.NewEvent()
+	var fired bool
+	e.Go("trigger", func(p *Proc) {
+		p.Sleep(1)
+		ev.Trigger()
+	})
+	e.Go("waiter", func(p *Proc) {
+		fired = ev.WaitTimeout(p, 1)
+	})
+	end := mustRun(t, e)
+	if end != 1 {
+		t.Fatalf("end=%v, want 1", end)
+	}
+	_ = fired // either wake source is legal at the exact tie; run must not hang
+}
+
+func TestWaitTimeoutRepeatedCycles(t *testing.T) {
+	// A condition-variable style loop: the consumer repeatedly waits with a
+	// timeout while a producer signals via a fresh event each round.
+	e := NewEngine()
+	var wake *Event
+	wake = e.NewEvent()
+	rounds := 0
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(0.5)
+			old := wake
+			wake = e.NewEvent()
+			old.Trigger()
+		}
+	})
+	e.Go("consumer", func(p *Proc) {
+		for rounds < 5 {
+			ev := wake
+			if ev.WaitTimeout(p, 10) {
+				rounds++
+			}
+		}
+	})
+	end := mustRun(t, e)
+	if rounds != 5 {
+		t.Fatalf("rounds=%d, want 5", rounds)
+	}
+	if end != 2.5 {
+		t.Fatalf("end=%v, want 2.5", end)
+	}
+}

@@ -13,17 +13,19 @@ import (
 	"sort"
 )
 
-// Event is one complete ("X" phase) trace event in microseconds of virtual
-// time.
+// Event is one trace event in microseconds of virtual time. Ph is "X"
+// (complete span), "C" (counter sample, numeric Values) or "i" (instant).
 type Event struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`
-	Dur  float64           `json:"dur,omitempty"`
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name   string             `json:"name"`
+	Cat    string             `json:"cat"`
+	Ph     string             `json:"ph"`
+	Ts     float64            `json:"ts"`
+	Dur    float64            `json:"dur,omitempty"`
+	Pid    int                `json:"pid"`
+	Tid    int                `json:"tid"`
+	S      string             `json:"s,omitempty"`    // instant scope: "t", "p" or "g"
+	Args   map[string]string  `json:"args,omitempty"` // string args ("X"/"i")
+	Values map[string]float64 `json:"-"`              // numeric series ("C")
 }
 
 // Tracer accumulates events. The simulation is single-threaded, so no
@@ -70,6 +72,32 @@ func (t *Tracer) Complete(name, cat string, pid, tid int, start, end float64, ar
 	})
 }
 
+// Counter records a sample of one or more numeric series at virtual time ts
+// (seconds). Chrome/Perfetto chart counters with the same (pid, name) as a
+// stacked area over time — used for queue depths, outstanding requests, etc.
+func (t *Tracer) Counter(name string, pid int, ts float64, values map[string]float64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		Name: name, Cat: "counter", Ph: "C",
+		Ts: ts * 1e6, Pid: pid, Values: values,
+	})
+}
+
+// Instant records a zero-duration marker at virtual time ts (seconds), drawn
+// as a flag on the lane — used for one-off occurrences such as shed requests.
+// The scope is "t" (thread-scoped).
+func (t *Tracer) Instant(name, cat string, pid, tid int, ts float64, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Ph: "i",
+		Ts: ts * 1e6, Pid: pid, Tid: tid, S: "t", Args: args,
+	})
+}
+
 // Len returns the number of recorded spans.
 func (t *Tracer) Len() int {
 	if t == nil {
@@ -111,9 +139,18 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	for _, e := range t.Events() {
 		m := map[string]interface{}{
 			"name": e.Name, "cat": e.Cat, "ph": e.Ph,
-			"ts": e.Ts, "dur": e.Dur, "pid": e.Pid, "tid": e.Tid,
+			"ts": e.Ts, "pid": e.Pid, "tid": e.Tid,
 		}
-		if len(e.Args) > 0 {
+		if e.Ph == "X" {
+			m["dur"] = e.Dur
+		}
+		if e.S != "" {
+			m["s"] = e.S
+		}
+		switch {
+		case len(e.Values) > 0:
+			m["args"] = e.Values
+		case len(e.Args) > 0:
 			m["args"] = e.Args
 		}
 		all = append(all, m)
@@ -144,6 +181,9 @@ func (t *Tracer) Summary() map[string]float64 {
 		return out
 	}
 	for _, e := range t.events {
+		if e.Ph != "X" {
+			continue
+		}
 		out[e.Cat+"/"+e.Name] += e.Dur
 	}
 	return out

@@ -85,3 +85,75 @@ func TestDeterministicOutput(t *testing.T) {
 		t.Skip("map iteration order leaked into output") // tolerated: see sort
 	}
 }
+
+func TestCounterJSONShape(t *testing.T) {
+	tr := New()
+	tr.Counter("queue-depth", 2, 0.001, map[string]float64{"gpu0": 3, "gpu1": 0})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed) != 1 {
+		t.Fatalf("got %d entries", len(parsed))
+	}
+	ev := parsed[0]
+	if ev["ph"] != "C" || ev["name"] != "queue-depth" || ev["ts"].(float64) != 1000 {
+		t.Fatalf("counter event %v", ev)
+	}
+	if _, has := ev["dur"]; has {
+		t.Fatal("counter event must not carry dur")
+	}
+	args, ok := ev["args"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("counter args missing: %v", ev)
+	}
+	// Chrome charts counters from numeric args values.
+	if args["gpu0"].(float64) != 3 || args["gpu1"].(float64) != 0 {
+		t.Fatalf("counter values %v", args)
+	}
+}
+
+func TestInstantJSONShape(t *testing.T) {
+	tr := New()
+	tr.Instant("shed", "serve", 0, 4, 0.002, map[string]string{"node": "17"})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	ev := parsed[0]
+	if ev["ph"] != "i" || ev["s"] != "t" || ev["tid"].(float64) != 4 {
+		t.Fatalf("instant event %v", ev)
+	}
+	args := ev["args"].(map[string]interface{})
+	if args["node"] != "17" {
+		t.Fatalf("instant args %v", args)
+	}
+}
+
+func TestCounterAndInstantInertOnNil(t *testing.T) {
+	var tr *Tracer
+	tr.Counter("c", 0, 0, map[string]float64{"v": 1})
+	tr.Instant("i", "cat", 0, 0, 0, nil)
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer recorded events")
+	}
+}
+
+func TestSummaryIgnoresNonSpans(t *testing.T) {
+	tr := New()
+	tr.Complete("k", "kernel", 0, 1, 0, 1, nil)
+	tr.Counter("depth", 0, 0.5, map[string]float64{"q": 2})
+	tr.Instant("mark", "kernel", 0, 1, 0.5, nil)
+	sum := tr.Summary()
+	if len(sum) != 1 || sum["kernel/k"] != 1e6 {
+		t.Fatalf("summary %v", sum)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/hw"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
@@ -28,6 +29,11 @@ func RunEpoch(m *hw.Machine, epoch int, pipelined bool, queueCap int, overhead s
 		g.ResetBusy()
 	}
 	stats := make([]EpochStats, n)
+	for rank := range stats {
+		stats[rank].SampleDist = metrics.New()
+		stats[rank].LoadDist = metrics.New()
+		stats[rank].TrainDist = metrics.New()
+	}
 	var dones []*sim.Event
 	for rank := 0; rank < n; rank++ {
 		stages := stagesFor(rank, &stats[rank])
@@ -54,7 +60,10 @@ func RunEpoch(m *hw.Machine, epoch int, pipelined bool, queueCap int, overhead s
 			return EpochStats{}, fmt.Errorf("train: epoch did not complete on all GPUs")
 		}
 	}
-	out := EpochStats{Epoch: epoch, EpochTime: end - start}
+	out := EpochStats{
+		Epoch: epoch, EpochTime: end - start,
+		SampleDist: metrics.New(), LoadDist: metrics.New(), TrainDist: metrics.New(),
+	}
 	for _, st := range stats {
 		out.Loss += st.Loss
 		out.Correct += st.Correct
@@ -62,6 +71,9 @@ func RunEpoch(m *hw.Machine, epoch int, pipelined bool, queueCap int, overhead s
 		out.SampleStage += st.SampleStage
 		out.LoadStage += st.LoadStage
 		out.TrainStage += st.TrainStage
+		out.SampleDist.Merge(st.SampleDist)
+		out.LoadDist.Merge(st.LoadDist)
+		out.TrainDist.Merge(st.TrainDist)
 	}
 	out.Utilization = m.Utilization(start, end)
 	after := m.Fabric.Counters
@@ -92,25 +104,29 @@ func withOverhead(s pipeline.Stages, overhead sim.Time) pipeline.Stages {
 	return s
 }
 
-// withStageTiming accumulates per-stage virtual durations into st.
+// withStageTiming accumulates per-stage virtual durations into st: running
+// totals plus per-step distributions (metrics.Histogram) for tail analysis.
 func withStageTiming(s pipeline.Stages, st *EpochStats) pipeline.Stages {
 	sample, load, train := s.Sample, s.Load, s.Train
 	s.Sample = func(p *sim.Proc, step int) interface{} {
 		t0 := p.Now()
 		v := sample(p, step)
 		st.SampleStage += p.Now() - t0
+		st.SampleDist.Observe(float64(p.Now() - t0))
 		return v
 	}
 	s.Load = func(p *sim.Proc, step int, v interface{}) interface{} {
 		t0 := p.Now()
 		out := load(p, step, v)
 		st.LoadStage += p.Now() - t0
+		st.LoadDist.Observe(float64(p.Now() - t0))
 		return out
 	}
 	s.Train = func(p *sim.Proc, step int, v interface{}) {
 		t0 := p.Now()
 		train(p, step, v)
 		st.TrainStage += p.Now() - t0
+		st.TrainDist.Observe(float64(p.Now() - t0))
 	}
 	return s
 }

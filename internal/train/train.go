@@ -10,6 +10,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/hw"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/partition"
 	"repro/internal/rng"
@@ -144,6 +145,9 @@ type EpochStats struct {
 	// each worker. Under the pipeline these overlap, so their sum exceeds
 	// EpochTime.
 	SampleStage, LoadStage, TrainStage sim.Time
+	// Per-step stage duration distributions (virtual seconds; one
+	// observation per rank per step), merged across ranks by RunEpoch.
+	SampleDist, LoadDist, TrainDist *metrics.Histogram
 }
 
 // Acc returns training accuracy for the epoch.

@@ -1,13 +1,18 @@
 package train
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/sim"
 )
 
 func testDataset() *gen.Dataset {
@@ -211,5 +216,36 @@ func TestEpochStatsAcc(t *testing.T) {
 	st := EpochStats{Correct: 3, Seen: 4}
 	if st.Acc() != 0.75 {
 		t.Errorf("acc %v", st.Acc())
+	}
+}
+
+func TestRunEpochPopulatesStageDistributions(t *testing.T) {
+	m := hw.NewMachine(2, hw.V100(), hw.XeonE5())
+	const steps = 4
+	stats, err := RunEpoch(m, 0, true, 2, 0, func(rank int, st *EpochStats) pipeline.Stages {
+		return pipeline.Stages{
+			NumBatches: steps,
+			Sample:     func(p *sim.Proc, step int) interface{} { p.Sleep(0.001); return step },
+			Load:       func(p *sim.Proc, step int, v interface{}) interface{} { p.Sleep(0.002); return v },
+			Train:      func(p *sim.Proc, step int, v interface{}) { p.Sleep(0.003) },
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, h := range map[string]*metrics.Histogram{
+		"sample": stats.SampleDist, "load": stats.LoadDist, "train": stats.TrainDist,
+	} {
+		if h.Count() != 2*steps {
+			t.Fatalf("%s dist has %d observations, want %d", name, h.Count(), 2*steps)
+		}
+	}
+	// The distributions carry the per-step stage durations: the sums must
+	// reconcile with the running totals.
+	if got, want := stats.SampleDist.Sum(), float64(stats.SampleStage); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sample dist sum %g != stage total %g", got, want)
+	}
+	if p50 := stats.TrainDist.P50(); math.Abs(p50-0.003) > 0.0002 {
+		t.Fatalf("train p50 %g, want ~0.003", p50)
 	}
 }

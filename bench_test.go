@@ -141,3 +141,13 @@ func BenchmarkServeThroughput(b *testing.B) {
 	b.ReportMetric(t.Get("batch=1 p99", hi), "batch1-p99-ms")
 	b.ReportMetric(t.Get("batch=1 shed%", hi), "batch1-shed-pct")
 }
+
+// BenchmarkFaultSweep serves under seeded random fault schedules and reports
+// degraded-mode health at the highest crash rate.
+func BenchmarkFaultSweep(b *testing.B) {
+	t := runExperiment(b, bench.FaultSweep)
+	hi := t.Cols[len(t.Cols)-1]
+	b.ReportMetric(t.Get("throughput req/s", hi), "degraded-throughput-rps")
+	b.ReportMetric(t.Get("mean MTTR ms", hi), "mean-mttr-ms")
+	b.ReportMetric(t.Get("unanswered %", hi), "unanswered-pct")
+}

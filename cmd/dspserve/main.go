@@ -9,6 +9,12 @@
 //	dspserve -rate 20000 -mode single          # batching ablation: no batching
 //	dspserve -rate 4000 -skew 1.2 -real        # hotter skew, real fp32 forward
 //	dspserve -rate 8000 -trace serve.json      # per-request Chrome trace
+//
+// Fault injection: -faults drives degraded-mode serving — a crashed GPU's
+// requests re-route to the next live replica and the fleet keeps answering.
+//
+//	dspserve -duration 0.5 -faults 'crash@gpu2:t=0.2'
+//	dspserve -faults 'linkdown@gpu0-gpu1:t=0.1+50ms,stall@gpu3:t=0.3+20ms'
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graphio"
 	"repro/internal/serve"
@@ -41,6 +48,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "run seed")
 		real     = flag.Bool("real", false, "run the real fp32 forward pass and report predictions")
 		traceTo  = flag.String("trace", "", "write a Chrome trace of the run to this file")
+		faultSp  = flag.String("faults", "",
+			"fault schedule, e.g. 'crash@gpu2:t=0.2,stall@gpu0:t=0.1+50ms' (crashes switch to degraded serving)")
 	)
 	flag.Parse()
 
@@ -69,6 +78,22 @@ func main() {
 		td.GPUMemBytes = std.GPUMemBytes()
 	}
 
+	faults, err := fault.ParseSpec(*faultSp, *gpus)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+		os.Exit(2)
+	}
+	crashed := map[int]bool{}
+	for _, f := range faults {
+		if f.Kind == fault.Crash {
+			crashed[f.GPU] = true
+		}
+	}
+	if len(crashed) >= *gpus {
+		fmt.Fprintf(os.Stderr, "dspserve: fault schedule crashes all %d GPUs; at least one must survive\n", *gpus)
+		os.Exit(2)
+	}
+
 	var batching serve.Batching
 	switch strings.ToLower(*mode) {
 	case "dynamic":
@@ -94,6 +119,7 @@ func main() {
 		MaxWait:     sim.Time(*maxWait),
 		QueueDepth:  *queue,
 		UseCCC:      true,
+		Faults:      faults,
 	}
 	if *traceTo != "" {
 		cfg.Tracer = trace.New()

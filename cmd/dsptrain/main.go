@@ -7,6 +7,14 @@
 //	dsptrain -dataset products -gpus 4 -epochs 5
 //	dsptrain -dataset papers -gpus 8 -arch gcn -shrink 8
 //	dsptrain -system dgl-uva -dataset products -gpus 2
+//
+// Fault tolerance (-system dsp only): -faults injects a deterministic fault
+// schedule and -ckpt-every sets the checkpoint cadence; a GPU crash restarts
+// the fleet from the last checkpoint and replays, converging to the same
+// final model as a crash-free run.
+//
+//	dsptrain -faults 'crash@gpu2:t=1.5' -ckpt-every 50
+//	dsptrain -faults 'stall@gpu0:t=0.8+50ms,degrade@gpu1-gpu2:t=0.3+20ms:x4'
 package main
 
 import (
@@ -16,7 +24,9 @@ import (
 	"strings"
 
 	"repro/internal/baselines"
+	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graphio"
 	"repro/internal/nn"
@@ -40,6 +50,11 @@ func main() {
 		dataIn  = flag.String("data", "", "load a prepared .dspd dataset (from dspdata) instead of generating")
 		saveTo  = flag.String("save", "", "write the trained model checkpoint to this file")
 		loadFm  = flag.String("load", "", "initialise the model from a checkpoint before training")
+		faultSp = flag.String("faults", "",
+			"fault schedule, e.g. 'crash@gpu2:t=1.5,stall@gpu0:t=0.8+50ms' (runs the fault-tolerant driver)")
+		ckptEv = flag.Int("ckpt-every", 0,
+			"checkpoint cadence in steps, 0 = epoch boundaries only (with -faults or alone to measure overhead)")
+		ckptTo = flag.String("ckpt-file", "", "mirror every committed training checkpoint to this file")
 	)
 	flag.Parse()
 
@@ -64,6 +79,17 @@ func main() {
 		td.GPUMemBytes = std.GPUMemBytes()
 	}
 
+	faults, err := fault.ParseSpec(*faultSp, *gpus)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+		os.Exit(2)
+	}
+	ftMode := len(faults) > 0 || *ckptEv > 0 || *ckptTo != ""
+	if ftMode && !strings.HasPrefix(strings.ToLower(*sysName), "dsp") {
+		fmt.Fprintf(os.Stderr, "dsptrain: -faults/-ckpt-every/-ckpt-file require -system dsp or dsp-seq\n")
+		os.Exit(2)
+	}
+
 	arch := nn.SAGE
 	if strings.EqualFold(*archStr, "gcn") {
 		arch = nn.GCN
@@ -78,10 +104,10 @@ func main() {
 		UseCCC:      true,
 		LR:          0.003,
 		Seed:        *seed,
+		Faults:      faults,
 	}
 
 	var sys train.System
-	var err error
 	switch strings.ToLower(*sysName) {
 	case "dsp":
 		sys, err = core.New(opts)
@@ -134,6 +160,56 @@ func main() {
 	}
 
 	fmt.Printf("training %s with %s on %d simulated GPUs\n", opts.Model.Arch, sys.Name(), *gpus)
+	if ftMode {
+		rec, ok := sys.(train.Recoverable)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dsptrain: %s does not support the fault-tolerant driver\n", sys.Name())
+			os.Exit(2)
+		}
+		if len(faults) > 0 {
+			fmt.Printf("fault schedule: %s\n", fault.FormatSpec(faults))
+		}
+		mgr := &ckpt.Manager{EverySteps: *ckptEv, Path: *ckptTo}
+		rep, err := train.RunRecoverable(rec, *epochs, mgr,
+			func() (train.Recoverable, error) { return core.New(opts) })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("epoch  sim-time(s)  train-acc  sample-MB  feature-MB")
+		var cum float64
+		for e, st := range rep.Epochs {
+			cum += float64(st.EpochTime)
+			fmt.Printf("%5d  %11.4g  %9.3f  %9.1f  %10.1f\n",
+				e, cum, st.Acc(), float64(st.SampleWire)/(1<<20), float64(st.FeatureWire)/(1<<20))
+		}
+		fmt.Printf("total virtual time %.4gs  checkpoints %d (%.1f MB, overhead %.2f%%)\n",
+			float64(rep.TotalTime), rep.Ckpt.Checkpoints,
+			float64(rep.Ckpt.Bytes)/(1<<20), rep.Ckpt.OverheadPercent(rep.TotalTime))
+		for _, rc := range rep.Recoveries {
+			fmt.Printf("crash gpu%d at %.4gs: restore %.3gms, replayed %d steps, MTTR %.3gms\n",
+				rc.GPU, float64(rc.CrashAt), 1e3*float64(rc.RestoreTime), rc.ReplaySteps, 1e3*float64(rc.MTTR))
+		}
+		if n := len(rep.Recoveries); n > 0 {
+			fmt.Printf("recovered from %d crash(es), mean MTTR %.3gms\n", n, 1e3*float64(rep.MTTR()))
+		}
+		// The final model lives in the last committed checkpoint (the running
+		// system may have been rebuilt since sys was constructed).
+		final := nn.NewModel(opts.Model, opts.Seed)
+		if last := mgr.Last(); last != nil && last.Params != nil {
+			final.SetParamVector(last.Params)
+		}
+		fmt.Printf("final validation accuracy %.3f\n", train.Evaluate(td, final, opts.Sample, 2000, 99))
+		if *saveTo != "" {
+			if err := final.SaveFile(*saveTo); err != nil {
+				fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("saved model checkpoint to %s\n", *saveTo)
+		}
+		writeTrace(tracer, *traceTo)
+		return
+	}
 	fmt.Println("epoch  sim-time(s)  train-acc  val-acc   sample-MB  feature-MB")
 	var cum float64
 	for e := 0; e < *epochs; e++ {
@@ -155,19 +231,25 @@ func main() {
 		}
 		fmt.Printf("saved model checkpoint to %s\n", *saveTo)
 	}
-	if tracer != nil {
-		f, err := os.Create(*traceTo)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
-			os.Exit(1)
-		}
-		if err := tracer.WriteJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("wrote %d trace spans to %s (open in chrome://tracing)\n", tracer.Len(), *traceTo)
+	writeTrace(tracer, *traceTo)
+}
+
+// writeTrace dumps the Chrome trace, if tracing was requested.
+func writeTrace(tracer *trace.Tracer, path string) {
+	if tracer == nil {
+		return
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+		os.Exit(1)
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("wrote %d trace spans to %s (open in chrome://tracing)\n", tracer.Len(), path)
 }
 
 // trainerModels returns every model replica of a system so a checkpoint can

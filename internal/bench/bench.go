@@ -308,6 +308,7 @@ var Experiments = map[string]func(w io.Writer, cfg RunConfig) error{
 	"ext-multimachine":  runnerFor(AblationMultiMachine),
 	"ext-gnn-archs":     runnerFor(ExtensionGNNArchs),
 	"serve-load":        runnerFor(ServeLoad),
+	"fault-sweep":       runnerFor(FaultSweep),
 }
 
 // ExperimentNames returns the registry keys sorted.

@@ -427,3 +427,31 @@ func TestServeLoadShape(t *testing.T) {
 		t.Errorf("fixed p99 %.3f ms should exceed dynamic %.3f ms at %s", f, d, lo)
 	}
 }
+
+func TestFaultSweepShape(t *testing.T) {
+	tab, err := FaultSweep(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := tab.Cols[0], tab.Cols[len(tab.Cols)-1]
+	if dead := tab.Get("dead GPUs", lo); dead != 0 {
+		t.Errorf("fault-free column reports %g dead GPUs", dead)
+	}
+	if dead := tab.Get("dead GPUs", hi); dead < 1 {
+		t.Errorf("highest crash rate killed no GPUs")
+	}
+	// The fleet keeps answering even at the highest crash rate, at reduced
+	// but non-zero throughput.
+	if thr := tab.Get("throughput req/s", hi); thr <= 0 {
+		t.Errorf("no throughput under faults")
+	}
+	if thr, clean := tab.Get("throughput req/s", hi), tab.Get("throughput req/s", lo); thr >= clean {
+		t.Errorf("throughput did not degrade under crashes: %.0f vs fault-free %.0f", thr, clean)
+	}
+	if mttr := tab.Get("mean MTTR ms", hi); mttr <= 0 {
+		t.Errorf("no MTTR recorded despite dead GPUs")
+	}
+	if un := tab.Get("unanswered %", hi); un < 0 || un >= 100 {
+		t.Errorf("unanswered%% %.1f out of range", un)
+	}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/serve"
+)
+
+// faultCrashRates is the crash-arrival grid (expected crashes per virtual
+// second) for the degraded-serving sweep. Over the 0.5 s serving horizon on
+// 4 GPUs this spans fault-free operation to losing most of the fleet
+// (RandomSchedule always leaves one GPU alive).
+var faultCrashRates = []float64{0, 2, 4, 8}
+
+// faultStallRate adds a light straggler background (one expected 5 ms stall
+// per second) so the sweep also exercises transient slowdowns, not just
+// fail-stop deaths.
+const (
+	faultStallRate = 1.0
+	faultStallDur  = 5e-3
+)
+
+// FaultSweep serves a fixed offered load under seeded random fault schedules
+// of increasing crash rate and reports how gracefully the fleet degrades:
+// completed throughput, tail latency, the fraction of arrivals not answered
+// (shed at admission plus lost with a dead GPU), re-routed requests, and the
+// mean degraded-mode MTTR (crash to next completed request).
+func FaultSweep(cfg RunConfig) (*Table, error) {
+	cols := make([]string, len(faultCrashRates))
+	for i, r := range faultCrashRates {
+		cols[i] = fmt.Sprintf("%g cr/s", r)
+	}
+	rows := []string{"dead GPUs", "throughput req/s", "p99 ms", "unanswered %", "rerouted", "mean MTTR ms"}
+	t := NewTable("Serving under faults: graceful degradation vs crash rate (products-sim, 4 GPUs)", "", rows, cols)
+
+	const nGPU = 4
+	td := prepared("products", nGPU, cfg.Shrink, false, true)
+	for i, crashRate := range faultCrashRates {
+		sc := serveConfig(td, serve.BatchDynamic, 4000)
+		sc.Faults = fault.RandomSchedule(sc.Seed, nGPU, sc.Duration,
+			crashRate, faultStallRate, faultStallDur)
+		rep, err := serve.Serve(sc)
+		if err != nil {
+			return nil, err
+		}
+		unanswered := 0.0
+		if rep.Arrived > 0 {
+			unanswered = 100 * float64(rep.Shed+rep.Lost) / float64(rep.Arrived)
+		}
+		var mttr float64
+		for _, rec := range rep.Recoveries {
+			mttr += float64(rec.MTTR)
+		}
+		if n := len(rep.Recoveries); n > 0 {
+			mttr /= float64(n)
+		}
+		t.Set("dead GPUs", cols[i], float64(len(rep.DeadGPUs)))
+		t.Set("throughput req/s", cols[i], rep.Throughput)
+		t.Set("p99 ms", cols[i], 1e3*rep.Latency.P99())
+		t.Set("unanswered %", cols[i], unanswered)
+		t.Set("rerouted", cols[i], float64(rep.Rerouted))
+		t.Set("mean MTTR ms", cols[i], 1e3*mttr)
+	}
+	t.Notes = append(t.Notes,
+		"seeded Poisson fault schedules (crashes at the column rate plus a 1/s background of 5 ms stalls) over a 0.5 s horizon at 4000 req/s offered",
+		"unanswered% = (shed at admission + lost with a dead GPU) / arrived; MTTR = crash instant to the fleet's next completed request")
+	return t, nil
+}

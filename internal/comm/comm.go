@@ -17,6 +17,7 @@ package comm
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/sim"
 )
@@ -38,14 +39,97 @@ type Communicator struct {
 	barrier *sim.Barrier
 	slots   []any // per-rank posted payload for the in-flight collective
 	gate    Gate
+
+	// Fault-aware membership (serving degraded mode). When view is set,
+	// collectives synchronise over the live ranks only and an in-flight
+	// collective aborts (panics fault.Aborted) the instant a member dies, so
+	// participants can retry under the new view.
+	view    *fault.View
+	attGen  []int      // per-rank membership generation captured by Begin
+	arrived int        // live arrivals in the current barrier cycle
+	release int        // completed barrier cycles
+	bcond   *sim.Event // trigger-and-replace wakeup for barrier waiters
 }
 
 // SetGate installs a communication-kernel launch gate (one per worker
 // group). Must be set before any collective runs.
 func (c *Communicator) SetGate(g Gate) { c.gate = g }
 
+// SetView makes the communicator membership-aware: barriers release when all
+// LIVE ranks have arrived, transfers to dead ranks are skipped, and a death
+// mid-collective aborts every participant of the in-flight attempt. Callers
+// must bracket each collective sequence with Begin.
+func (c *Communicator) SetView(v *fault.View) {
+	c.view = v
+	c.attGen = make([]int, c.N)
+	c.bcond = c.Machine.Eng.NewEvent()
+	v.OnChange(func() {
+		// A member died: void the in-flight attempt. Arrivals reset, posted
+		// payloads are dropped, and every waiter wakes to observe the stale
+		// generation and unwind.
+		c.arrived = 0
+		for i := range c.slots {
+			c.slots[i] = nil
+		}
+		c.notify()
+	})
+}
+
+// Begin opens a collective attempt for rank under the current membership
+// generation. Call it before the first collective of each retryable unit of
+// work (e.g. one serving round); every collective in the unit aborts if the
+// membership changes before the unit completes.
+func (c *Communicator) Begin(rank int) {
+	if c.view != nil {
+		c.attGen[rank] = c.view.Gen()
+	}
+}
+
+// check unwinds rank's attempt if its membership generation is stale.
+func (c *Communicator) check(rank int) {
+	if c.view != nil && c.attGen[rank] != c.view.Gen() {
+		panic(fault.Aborted{Gen: c.attGen[rank]})
+	}
+}
+
+// alive reports whether rank q participates in collectives.
+func (c *Communicator) alive(q int) bool {
+	return c.view == nil || c.view.Alive(q)
+}
+
+// notify wakes all barrier waiters (trigger-and-replace).
+func (c *Communicator) notify() {
+	ev := c.bcond
+	c.bcond = c.Machine.Eng.NewEvent()
+	ev.Trigger()
+}
+
+// arrive is the collective barrier: the plain cyclic barrier without a view,
+// or a membership-aware one that releases when all live ranks have arrived
+// and aborts waiters whose attempt generation went stale.
+func (c *Communicator) arrive(p *sim.Proc, rank int) {
+	if c.view == nil {
+		c.barrier.Arrive(p)
+		return
+	}
+	c.check(rank)
+	c.arrived++
+	if c.arrived >= c.view.LiveCount() {
+		c.arrived = 0
+		c.release++
+		c.notify()
+		return
+	}
+	my := c.release
+	for c.release == my {
+		c.bcond.Wait(p)
+		c.check(rank)
+	}
+}
+
 // enter/exit bracket one collective with the gate, if any.
 func (c *Communicator) enter(p *sim.Proc, rank int) {
+	c.check(rank)
 	if c.gate != nil {
 		c.gate.Enter(p, rank)
 	}
@@ -86,23 +170,30 @@ func AllToAll[T any](c *Communicator, p *sim.Proc, rank int, out [][]T, elemByte
 	defer c.exit(rank)
 	// Post and synchronise so every rank's payload is visible.
 	c.slots[rank] = out
-	c.barrier.Arrive(p)
-	// Collect (data is valid now; timing is enforced below).
+	c.arrive(p, rank)
+	// Collect (data is valid now; timing is enforced below). Dead ranks
+	// contribute nothing — their in[q] stays nil (empty).
 	in := make([][]T, c.N)
 	for q := 0; q < c.N; q++ {
+		if !c.alive(q) || c.slots[q] == nil {
+			continue
+		}
 		in[q] = c.slots[q].([][]T)[rank]
 	}
 	// Timed wire movement: size headers then payloads, charged to the
-	// sender in deterministic peer order.
+	// sender in deterministic peer order. Nothing is sent to dead ranks.
 	dev := c.Machine.GPUs[rank]
 	for i := 1; i < c.N; i++ {
 		q := (rank + i) % c.N
+		if !c.alive(q) {
+			continue
+		}
 		dev.Transfer(p, c.Machine.Fabric, q, sizeHeaderBytes, hw.TrafficOther)
 		if n := int64(len(out[q])) * int64(elemBytes); n > 0 {
 			dev.Transfer(p, c.Machine.Fabric, q, n, class)
 		}
 	}
-	c.barrier.Arrive(p)
+	c.arrive(p, rank)
 	return in
 }
 
@@ -142,28 +233,38 @@ func (c *Communicator) AllReduceSumScaled(p *sim.Proc, rank int, data []float32,
 	c.enter(p, rank)
 	defer c.exit(rank)
 	c.slots[rank] = data
-	c.barrier.Arrive(p)
-	// Deterministic, rank-order reduction into a fresh buffer.
+	c.arrive(p, rank)
+	// Deterministic, rank-order reduction into a fresh buffer (live ranks
+	// only under a membership view).
 	sum := make([]float32, len(data))
+	live := 0
 	for q := 0; q < c.N; q++ {
+		if !c.alive(q) || c.slots[q] == nil {
+			continue
+		}
+		live++
 		peer := c.slots[q].([]float32)
 		for i, v := range peer {
 			sum[i] += v
 		}
 	}
-	// Timed ring: each rank sends 2(n-1) chunks of len/n to its successor.
+	// Timed ring: each rank sends 2(live-1) chunks of len/live to its live
+	// successor.
 	dev := c.Machine.GPUs[rank]
 	next := (rank + 1) % c.N
-	chunk := int64(float64(len(data)) * 4 / float64(c.N) / wireDiv)
+	if c.view != nil {
+		next = c.view.NextLive(rank)
+	}
+	chunk := int64(float64(len(data)) * 4 / float64(live) / wireDiv)
 	if chunk < 1 {
 		chunk = 1
 	}
-	for step := 0; step < 2*(c.N-1); step++ {
+	for step := 0; step < 2*(live-1); step++ {
 		dev.Transfer(p, c.Machine.Fabric, next, chunk, class)
 	}
-	c.barrier.Arrive(p)
+	c.arrive(p, rank)
 	copy(data, sum)
-	c.barrier.Arrive(p)
+	c.arrive(p, rank)
 }
 
 // Broadcast sends root's slice to all ranks (returned; root gets its own).
@@ -176,23 +277,27 @@ func Broadcast[T any](c *Communicator, p *sim.Proc, rank, root int, data []T, el
 	if rank == root {
 		c.slots[root] = data
 	}
-	c.barrier.Arrive(p)
+	c.arrive(p, rank)
 	got := c.slots[root].([]T)
 	if rank == root {
 		dev := c.Machine.GPUs[rank]
 		for i := 1; i < c.N; i++ {
 			q := (rank + i) % c.N
+			if !c.alive(q) {
+				continue
+			}
 			dev.Transfer(p, c.Machine.Fabric, q, int64(len(data))*int64(elemBytes), class)
 		}
 	}
-	c.barrier.Arrive(p)
+	c.arrive(p, rank)
 	return got
 }
 
-// Barrier synchronises the group without moving data.
-func (c *Communicator) Barrier(p *sim.Proc) {
+// Barrier synchronises the group without moving data. rank identifies the
+// caller for membership-aware synchronisation (ignored without a view).
+func (c *Communicator) Barrier(p *sim.Proc, rank int) {
 	if c.N == 1 {
 		return
 	}
-	c.barrier.Arrive(p)
+	c.arrive(p, rank)
 }

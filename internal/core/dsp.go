@@ -18,8 +18,10 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/csp"
+	"repro/internal/fault"
 	"repro/internal/featstore"
 	"repro/internal/graph"
 	"repro/internal/hw"
@@ -49,6 +51,7 @@ type DSP struct {
 	loaderComm *comm.Communicator
 	trainer    *train.Trainer
 	sched      train.Schedule
+	inj        *fault.Injector
 
 	// Multi-instance worker state (paper §5 ablation): extra sampler
 	// worlds and loader communicators, one per instance.
@@ -163,6 +166,13 @@ func New(opts train.Options) (*DSP, error) {
 	}
 	s.trainer = train.NewTrainer(opts, trainerComm)
 	s.sched = train.NewSchedule(d, opts.BatchSize)
+	if len(opts.Faults) > 0 {
+		inj, err := fault.NewInjector(s.m, opts.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("core: fault schedule: %w", err)
+		}
+		s.inj = inj
+	}
 	return s, nil
 }
 
@@ -302,7 +312,15 @@ func (s *DSP) RunEpoch(epoch int) (train.EpochStats, error) {
 	if s.Opts.Pipeline && (len(s.worlds) > 1 || len(s.loaderComms) > 1) {
 		return s.runEpochMulti(epoch)
 	}
-	return train.RunEpoch(s.m, epoch, s.Opts.Pipeline, s.Opts.QueueCap, s.Opts.EffectiveStageOverhead(),
+	return s.RunEpochRange(epoch, 0, s.sched.Steps)
+}
+
+// RunEpochRange implements train.Recoverable: steps [from, to) of one epoch.
+func (s *DSP) RunEpochRange(epoch, from, to int) (train.EpochStats, error) {
+	if len(s.worlds) > 1 || len(s.loaderComms) > 1 {
+		return train.EpochStats{}, fmt.Errorf("core: fault tolerance is unsupported with multi-instance workers")
+	}
+	return train.RunEpochSteps(s.m, epoch, from, to, s.Opts.Pipeline, s.Opts.QueueCap, s.Opts.EffectiveStageOverhead(),
 		func(rank int, st *train.EpochStats) pipeline.Stages {
 			return pipeline.Stages{
 				NumBatches: s.sched.Steps,
@@ -318,6 +336,52 @@ func (s *DSP) RunEpoch(epoch int) (train.EpochStats, error) {
 				},
 			}
 		})
+}
+
+// Steps implements train.Recoverable.
+func (s *DSP) Steps() int { return s.sched.Steps }
+
+// Injector implements train.Recoverable (nil without an Opts.Faults schedule).
+func (s *DSP) Injector() *fault.Injector { return s.inj }
+
+// Snapshot implements train.Recoverable. Under BSP every replica is identical
+// between steps, so rank 0's parameters and optimizer describe the fleet; in
+// cost-only mode the state is the cursor alone.
+func (s *DSP) Snapshot(epoch, step int) *ckpt.TrainState {
+	st := &ckpt.TrainState{Epoch: epoch, Step: step, Seed: s.Opts.Seed, Model: s.Opts.Model}
+	if len(s.trainer.Models) > 0 {
+		m := s.trainer.Models[0]
+		st.Params = make([]float32, m.ParamCount())
+		m.ParamVector(st.Params)
+		if so, ok := s.trainer.Optims[0].(nn.StatefulOptimizer); ok {
+			st.Optim = so.CaptureState()
+		}
+	}
+	return st
+}
+
+// Restore implements train.Recoverable, broadcasting the checkpoint into
+// every replica and optimizer.
+func (s *DSP) Restore(st *ckpt.TrainState) error {
+	if st == nil {
+		return fmt.Errorf("core: nil checkpoint")
+	}
+	if len(s.trainer.Models) == 0 {
+		return nil // cost-only: the cursor is the whole state
+	}
+	if st.Model != s.Opts.Model {
+		return fmt.Errorf("core: checkpoint model %+v does not match %+v", st.Model, s.Opts.Model)
+	}
+	for g, m := range s.trainer.Models {
+		if len(st.Params) != m.ParamCount() {
+			return fmt.Errorf("core: checkpoint has %d params, model wants %d", len(st.Params), m.ParamCount())
+		}
+		m.SetParamVector(st.Params)
+		if so, ok := s.trainer.Optims[g].(nn.StatefulOptimizer); ok {
+			so.RestoreState(m, st.Optim)
+		}
+	}
+	return nil
 }
 
 // runEpochMulti runs one epoch with multiple sampler/loader worker

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/hw"
 	"repro/internal/sample"
@@ -94,6 +95,30 @@ type World struct {
 	Comm    *comm.Communicator
 	Offsets []int64
 	Patches []*PatchStore
+
+	// view, when set, enables degraded-mode sampling: tasks whose owner GPU
+	// is dead are kept on the requesting GPU and executed against the host
+	// master copy of the dead GPU's patch (charged as UVA reads), so sampling
+	// results stay bit-identical while the fleet runs short-handed.
+	view *fault.View
+}
+
+// SetView makes the world fleet-membership-aware: its communicator
+// synchronises over live ranks only, and sampling tasks owned by dead GPUs
+// fall back to the requester's cold path.
+func (w *World) SetView(v *fault.View) {
+	w.view = v
+	w.Comm.SetView(v)
+}
+
+// routeOwner returns the GPU a task for node v is sent to: the owner, or the
+// requester itself when the owner is dead (cold-path fallback).
+func (w *World) routeOwner(v graph.NodeID, rank int) int {
+	o := w.Owner(v)
+	if w.view != nil && !w.view.Alive(o) {
+		return rank
+	}
+	return o
 }
 
 // NewWorld partitions a layout-ordered graph into per-GPU patches and
@@ -267,24 +292,33 @@ func (w *World) fetchMasses(p *sim.Proc, rank int, dst []graph.NodeID) []massInf
 	outIDs := make([][]graph.NodeID, n)
 	where := make([][2]int32, len(dst)) // (owner, index in owner's list)
 	for i, v := range dst {
-		o := w.Owner(v)
+		o := w.routeOwner(v, rank)
 		where[i] = [2]int32{int32(o), int32(len(outIDs[o]))}
 		outIDs[o] = append(outIDs[o], v)
 	}
 	inIDs := comm.AllToAll(w.Comm, p, rank, outIDs, idBytes, hw.TrafficSample)
-	// Owner side: compute masses with a small kernel.
+	// Owner side: compute masses with a small kernel. Nodes of a dead GPU's
+	// patch are looked up in the host master copy (one UVA item each).
 	replies := make([][]massInfo, n)
-	var work int64
+	var work, hostItems int64
 	for q := 0; q < n; q++ {
 		work += int64(len(inIDs[q]))
+		for _, v := range inIDs[q] {
+			if w.Owner(v) != rank {
+				hostItems++
+			}
+		}
 	}
 	if work > 0 {
 		w.M.GPUs[rank].RunKernel(p, hw.KernelSample, work)
 	}
-	ps := w.Patches[rank]
+	if hostItems > 0 {
+		w.M.GPUs[rank].UVARead(p, w.M.Fabric, hostItems, massInfoBytes, hw.TrafficSample)
+	}
 	for q := 0; q < n; q++ {
 		replies[q] = make([]massInfo, len(inIDs[q]))
 		for i, v := range inIDs[q] {
+			ps := w.Patches[w.Owner(v)]
 			lv := ps.Local(v)
 			replies[q][i] = massInfo{Mass: ps.Adj.WeightSum(lv), Deg: int32(ps.Adj.Degree(lv))}
 		}
@@ -313,22 +347,24 @@ func (w *World) sampleLayer(p *sim.Proc, rank int, dst []graph.NodeID, counts []
 			where[i] = [2]int32{-1, -1}
 			continue
 		}
-		o := w.Owner(v)
+		o := w.routeOwner(v, rank)
 		where[i] = [2]int32{int32(o), int32(len(outTasks[o]))}
 		outTasks[o] = append(outTasks[o], task{Node: v, Count: counts[i]})
 	}
 	inTasks := comm.AllToAll(w.Comm, p, rank, outTasks, taskBytes, hw.TrafficSample)
 
 	// --- sample: one fused kernel over every received task ------------
-	ps := w.Patches[rank]
 	replyCounts := make([][]int32, n)
 	replySamples := make([][]graph.NodeID, n)
 	var fusedWork, hostItems int64
 	for q := 0; q < n; q++ {
 		for _, t := range inTasks[q] {
 			fusedWork += int64(t.Count)
-			if ps.OnHost != nil && ps.OnHost[ps.Local(t.Node)] {
-				// Host-resident adjacency: the kernel reads the sampled
+			tps := w.Patches[w.Owner(t.Node)]
+			if tps != w.Patches[rank] || (tps.OnHost != nil && tps.OnHost[tps.Local(t.Node)]) {
+				// Host-resident adjacency — either spilled by the topology
+				// budget or belonging to a dead GPU's patch (degraded mode
+				// reads the host master copy): the kernel reads the sampled
 				// entries (plus the position lookup) through UVA.
 				hostItems += int64(t.Count) + 1
 			}
@@ -352,8 +388,9 @@ func (w *World) sampleLayer(p *sim.Proc, rank int, dst []graph.NodeID, counts []
 		replyCounts[q] = make([]int32, len(inTasks[q]))
 		var buf []graph.NodeID
 		for i, t := range inTasks[q] {
+			tps := w.Patches[w.Owner(t.Node)]
 			before := len(buf)
-			buf = sample.DrawAdj(ps.Neighbors(t.Node), ps.NeighborWeights(t.Node),
+			buf = sample.DrawAdj(tps.Neighbors(t.Node), tps.NeighborWeights(t.Node),
 				t.Node, layer, int(t.Count), cfg, peerSeed[q], buf)
 			replyCounts[q][i] = int32(len(buf) - before)
 		}

@@ -66,6 +66,17 @@ func (d *Device) ResetBusy() {
 	}
 }
 
+// Seize occupies the device's entire thread pool for dur virtual seconds,
+// modelling a transient stall (ECC scrub, thermal throttle, preempting
+// tenant): queued kernels finish first (FIFO), then every new kernel waits
+// behind the seizure. The stalled period does NOT count as busy time, so a
+// straggler shows up as a utilization dip.
+func (d *Device) Seize(p *sim.Proc, dur sim.Time) {
+	d.threads.Acquire(p, d.Spec.Threads)
+	p.Sleep(dur)
+	d.threads.Release(d.Spec.Threads)
+}
+
 // RunKernel executes a kernel of the given kind over items work units using
 // the kind's ideal thread allocation. It blocks in virtual time for the
 // kernel duration and contends for device threads with concurrent kernels.

@@ -93,6 +93,38 @@ type Fabric struct {
 	eng       *sim.Engine
 	linkRes   []*sim.Resource // parallel to Topo.Links
 	switchRes []*sim.Resource // per PCIe switch
+	linkScale []float64       // per-link bandwidth multiplier (fault injection); nil = all 1
+}
+
+// SetLinkScale sets a bandwidth multiplier for NVLink link li (1 = healthy,
+// 0.25 = degraded to a quarter of nominal). Used by the fault injector to
+// model link degradation; transfers already queued keep their old duration.
+func (f *Fabric) SetLinkScale(li int, scale float64) {
+	if scale <= 0 {
+		panic("hw: link scale must be positive")
+	}
+	if f.linkScale == nil {
+		f.linkScale = make([]float64, len(f.Topo.Links))
+		for i := range f.linkScale {
+			f.linkScale[i] = 1
+		}
+	}
+	f.linkScale[li] = scale
+}
+
+func (f *Fabric) scaleOf(li int) float64 {
+	if f.linkScale == nil {
+		return 1
+	}
+	return f.linkScale[li]
+}
+
+// SeizeLink occupies NVLink link li exclusively for dur virtual seconds,
+// modelling a link outage (partition): in-flight transfers finish, then all
+// traffic routed over the link queues behind the outage and drains when it
+// lifts. Must be called from a simulation process.
+func (f *Fabric) SeizeLink(p *sim.Proc, li int, dur sim.Time) {
+	f.linkRes[li].Use(p, 1, dur)
 }
 
 // NewFabric instantiates the runtime fabric for a topology on an engine.
@@ -125,7 +157,7 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst int, bytes int64, class TrafficC
 	for _, next := range path {
 		li := f.Topo.NVLinkIndex(cur, next)
 		l := f.Topo.Links[li]
-		dur := sim.Time(float64(bytes)/(l.Bandwidth*float64(l.Lanes))) + sim.Time(l.Latency)
+		dur := sim.Time(float64(bytes)/(l.Bandwidth*float64(l.Lanes)*f.scaleOf(li))) + sim.Time(l.Latency)
 		f.linkRes[li].Use(p, 1, dur)
 		f.Counters.NVLinkBytes[class] += bytes
 		cur = next

@@ -144,6 +144,16 @@ func (m *Model) ParamVector(buf []float32) {
 	}
 }
 
+// SetParamVector writes buf (len ParamCount, ParamVector layout) back into
+// the weight matrices — checkpoint restore and replica broadcast.
+func (m *Model) SetParamVector(buf []float32) {
+	i := 0
+	for _, p := range m.Params {
+		copy(p.W.Data, buf[i:i+len(p.W.Data)])
+		i += len(p.W.Data)
+	}
+}
+
 // ZeroGrads clears all gradient accumulators.
 func (m *Model) ZeroGrads() {
 	for _, p := range m.Params {

@@ -9,6 +9,56 @@ type Optimizer interface {
 	Step(m *Model)
 }
 
+// OptState is a flattened optimizer-state snapshot for checkpointing. Data
+// layout is optimizer-specific but always concatenates per-parameter slices
+// in Model.Params order, so a state restored into an identically-shaped
+// model resumes bit-identically. Empty Data means "never stepped".
+type OptState struct {
+	// Step is Adam's bias-correction step count (0 for SGD).
+	Step int
+	// Data holds the moment/velocity vectors.
+	Data []float32
+}
+
+// StatefulOptimizer is an Optimizer whose internal state can be captured
+// and restored for checkpoint/resume.
+type StatefulOptimizer interface {
+	Optimizer
+	// CaptureState snapshots the optimizer state (a deep copy).
+	CaptureState() OptState
+	// RestoreState replaces the optimizer state. m provides the parameter
+	// shapes; st must come from an optimizer over an identical model.
+	RestoreState(m *Model, st OptState)
+}
+
+// flatten concatenates per-parameter state vectors.
+func flatten(vecs [][]float32) []float32 {
+	n := 0
+	for _, v := range vecs {
+		n += len(v)
+	}
+	out := make([]float32, 0, n)
+	for _, v := range vecs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// unflatten splits buf back into per-parameter vectors shaped like m.
+func unflatten(m *Model, buf []float32) [][]float32 {
+	out := make([][]float32, len(m.Params))
+	i := 0
+	for pi, p := range m.Params {
+		n := len(p.W.Data)
+		out[pi] = append([]float32(nil), buf[i:i+n]...)
+		i += n
+	}
+	if i != len(buf) {
+		panic("nn: optimizer state size does not match model")
+	}
+	return out
+}
+
 // SGD is stochastic gradient descent with optional momentum.
 type SGD struct {
 	LR       float64
@@ -44,6 +94,24 @@ func (o *SGD) Step(m *Model) {
 			p.W.Data[j] -= lr * v[j]
 		}
 	}
+}
+
+// CaptureState implements StatefulOptimizer (velocity vectors; empty until
+// the first momentum step).
+func (o *SGD) CaptureState() OptState {
+	if o.velocity == nil {
+		return OptState{}
+	}
+	return OptState{Data: flatten(o.velocity)}
+}
+
+// RestoreState implements StatefulOptimizer.
+func (o *SGD) RestoreState(m *Model, st OptState) {
+	if len(st.Data) == 0 {
+		o.velocity = nil
+		return
+	}
+	o.velocity = unflatten(m, st.Data)
 }
 
 // Adam is the Adam optimizer with bias correction.
@@ -83,4 +151,25 @@ func (o *Adam) Step(m *Model) {
 			p.W.Data[j] -= float32(o.LR * mh / (math.Sqrt(vh) + o.Eps))
 		}
 	}
+}
+
+// CaptureState implements StatefulOptimizer (step count plus first and
+// second moments, concatenated; empty until the first step).
+func (o *Adam) CaptureState() OptState {
+	if o.m1 == nil {
+		return OptState{Step: o.t}
+	}
+	return OptState{Step: o.t, Data: append(flatten(o.m1), flatten(o.m2)...)}
+}
+
+// RestoreState implements StatefulOptimizer.
+func (o *Adam) RestoreState(m *Model, st OptState) {
+	o.t = st.Step
+	if len(st.Data) == 0 {
+		o.m1, o.m2 = nil, nil
+		return
+	}
+	half := len(st.Data) / 2
+	o.m1 = unflatten(m, st.Data[:half])
+	o.m2 = unflatten(m, st.Data[half:])
 }

@@ -15,6 +15,7 @@ package pipeline
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,11 @@ type Coordinator struct {
 	granted   []int
 	nextGrant []int
 	cond      []*sim.Event // per-GPU "state advanced" condition
+
+	// view, when set, enables leader failover: the leader is the lowest
+	// LIVE GPU, and a death resets the grant log (every in-flight collective
+	// aborts and re-submits under the new membership generation).
+	view *fault.View
 }
 
 // NewCoordinator creates a coordinator for n GPUs. slotCap is the number of
@@ -52,6 +58,30 @@ func NewCoordinator(eng *sim.Engine, n int, useCCC bool, slotCap int) *Coordinat
 	}
 	c.nextGrant = make([]int, n)
 	return c
+}
+
+// SetView enables CCC leader failover driven by a fleet-membership view.
+// When any GPU dies the grant log resets: collectives in flight abort (via
+// the communicator's own view handling), retry, and re-submit to the new
+// leader — the lowest live GPU — so the global launch order stays total.
+func (c *Coordinator) SetView(v *fault.View) {
+	c.view = v
+	v.OnChange(func() {
+		c.granted = c.granted[:0]
+		for g := range c.nextGrant {
+			c.nextGrant[g] = 0
+		}
+		c.notifyAll()
+	})
+}
+
+// Leader returns the grant-issuing GPU: 0, or the lowest live GPU under a
+// membership view.
+func (c *Coordinator) Leader() int {
+	if c.view != nil {
+		return c.view.LowestLive()
+	}
+	return 0
 }
 
 // notify wakes every process waiting on GPU g's condition.
@@ -73,8 +103,12 @@ func (c *Coordinator) notifyAll() {
 // global order, then claims the GPU's (irrevocable) kernel resources.
 func (c *Coordinator) Enter(p *sim.Proc, gpu, workerID int) {
 	if c.UseCCC {
+		gen := -1
+		if c.view != nil {
+			gen = c.view.Gen()
+		}
 		// Leader: submitting IS granting.
-		if gpu == 0 {
+		if gpu == c.Leader() {
 			c.granted = append(c.granted, workerID)
 			c.notifyAll()
 		}
@@ -86,6 +120,12 @@ func (c *Coordinator) Enter(p *sim.Proc, gpu, workerID int) {
 				break
 			}
 			c.cond[gpu].Wait(p)
+			if c.view != nil && c.view.Gen() != gen {
+				// A GPU died and the grant log was reset mid-wait: this
+				// launch belongs to an aborted collective. Unwind; the
+				// caller retries and re-submits under the new leader.
+				panic(fault.Aborted{Gen: gen})
+			}
 		}
 	}
 	c.slot[gpu].Acquire(p, 1)
@@ -127,7 +167,7 @@ func (c *Coordinator) Gate(workerID int) WorkerGate {
 // String describes the coordinator mode.
 func (c *Coordinator) String() string {
 	if c.UseCCC {
-		return fmt.Sprintf("CCC(leader=0, n=%d)", c.n)
+		return fmt.Sprintf("CCC(leader=%d, n=%d)", c.Leader(), c.n)
 	}
 	return fmt.Sprintf("uncoordinated(n=%d)", c.n)
 }

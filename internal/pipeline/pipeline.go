@@ -12,6 +12,10 @@ import (
 // between are what allow steps to overlap.
 type Stages struct {
 	NumBatches int
+	// FirstBatch is the step the epoch starts at (non-zero when replaying the
+	// tail of an epoch after restoring a mid-epoch checkpoint). Steps
+	// [FirstBatch, NumBatches) run.
+	FirstBatch int
 	// Sample constructs the graph samples for step (the sampler worker).
 	Sample func(p *sim.Proc, step int) interface{}
 	// Load fetches features for the step's samples (the loader worker).
@@ -37,7 +41,7 @@ func RunPipelined(eng *sim.Engine, name string, s Stages, queueCap int, done *si
 	loadQ := eng.NewQueue(queueCap)
 	trainQ := eng.NewQueue(queueCap)
 	eng.Go(name+"/sampler", func(p *sim.Proc) {
-		for step := 0; step < s.NumBatches; step++ {
+		for step := s.FirstBatch; step < s.NumBatches; step++ {
 			v := s.Sample(p, step)
 			loadQ.Put(p, queueItem{step, v})
 		}
@@ -56,7 +60,7 @@ func RunPipelined(eng *sim.Engine, name string, s Stages, queueCap int, done *si
 		}
 	})
 	eng.Go(name+"/trainer", func(p *sim.Proc) {
-		want := 0
+		want := s.FirstBatch
 		for {
 			item, ok := trainQ.Get(p)
 			if !ok {
@@ -80,7 +84,7 @@ func RunPipelined(eng *sim.Engine, name string, s Stages, queueCap int, done *si
 // worker — the DSP-Seq configuration the pipeline is compared against.
 func RunSequential(eng *sim.Engine, name string, s Stages, done *sim.Event) {
 	eng.Go(name+"/seq", func(p *sim.Proc) {
-		for step := 0; step < s.NumBatches; step++ {
+		for step := s.FirstBatch; step < s.NumBatches; step++ {
 			v := s.Sample(p, step)
 			v = s.Load(p, step, v)
 			s.Train(p, step, v)

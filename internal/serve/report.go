@@ -44,6 +44,26 @@ type Report struct {
 	// Requests holds every completed request sorted by ID — the per-request
 	// latency trace used by the determinism tests.
 	Requests []*Request
+
+	// Degraded-mode accounting (empty for fault-free runs).
+	//
+	// DeadGPUs lists GPUs that crashed mid-run. Rerouted counts requests
+	// redirected away from a dead owner (both admitted-then-rescued and
+	// arrivals after the crash). Lost counts requests that were dispatched to
+	// a GPU that died before completing them — admitted but never answered.
+	DeadGPUs   []int
+	Rerouted   int
+	Lost       int
+	Recoveries []Recovery
+}
+
+// Recovery records one crash the serving fleet absorbed. MTTR is the
+// degraded-mode recovery time: from the crash instant until the fleet next
+// completed a request (-1 if it never did).
+type Recovery struct {
+	GPU  int
+	At   sim.Time
+	MTTR sim.Time
 }
 
 func (s *Server) report(end sim.Time) *Report {
@@ -73,6 +93,21 @@ func (s *Server) report(end sim.Time) *Report {
 		r.MeanBatch = float64(s.batchSum) / float64(s.rounds*len(s.latency))
 	}
 	sort.Slice(r.Requests, func(i, j int) bool { return r.Requests[i].ID < r.Requests[j].ID })
+	if s.view != nil {
+		r.DeadGPUs = s.view.Dead()
+		r.Rerouted = s.rerouted
+		r.Lost = int(s.batchSum) - len(s.completed)
+		r.Recoveries = append([]Recovery(nil), s.crashes...)
+		for i := range r.Recoveries {
+			r.Recoveries[i].MTTR = -1
+			for _, req := range r.Requests {
+				if req.Done > r.Recoveries[i].At &&
+					(r.Recoveries[i].MTTR < 0 || req.Done-r.Recoveries[i].At < r.Recoveries[i].MTTR) {
+					r.Recoveries[i].MTTR = req.Done - r.Recoveries[i].At
+				}
+			}
+		}
+	}
 	return r
 }
 
@@ -107,5 +142,11 @@ func (r *Report) String() string {
 		1e3*r.Latency.Mean(), 1e3*r.Latency.Max())
 	fmt.Fprintf(&b, "feature reads  local %d  nvlink %d  host %d  (gpu-cache hit %.1f%%, expected %.1f%%)",
 		r.LocalRows, r.RemoteRows, r.HostRows, 100*r.CacheHitRate(), 100*r.ExpectedHitRate)
+	if len(r.Recoveries) > 0 {
+		fmt.Fprintf(&b, "\ndegraded  dead gpus %v  rerouted %d  lost %d", r.DeadGPUs, r.Rerouted, r.Lost)
+		for _, rec := range r.Recoveries {
+			fmt.Fprintf(&b, "\n  crash gpu%d at %.3fs  mttr %.3fms", rec.GPU, float64(rec.At), 1e3*rec.MTTR)
+		}
+	}
 	return b.String()
 }

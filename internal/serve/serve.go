@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/csp"
+	"repro/internal/fault"
 	"repro/internal/featstore"
 	"repro/internal/graph"
 	"repro/internal/hw"
@@ -121,6 +122,14 @@ type Config struct {
 	// Tracer, when set, records per-request spans, round spans, queue-depth
 	// counters and shed markers.
 	Tracer *trace.Tracer
+
+	// Faults is the injected fault schedule. A GPU crash switches the fleet
+	// to degraded mode: the dead GPU's workers stop, its admitted requests
+	// re-route to the next live GPU, in-flight collectives abort and retry
+	// under the reduced membership, and reads of its patch and feature shard
+	// fall back to host memory. The schedule must leave at least one GPU
+	// alive.
+	Faults []fault.Fault
 }
 
 func (c Config) defaults() Config {
@@ -241,6 +250,10 @@ type Server struct {
 	models   []*nn.Model
 	overhead sim.Time
 
+	// fault tolerance
+	inj  *fault.Injector
+	view *fault.View
+
 	// run state
 	wake      *sim.Event
 	genDone   bool
@@ -248,12 +261,16 @@ type Server struct {
 	sampQ     []*sim.Queue
 	execQ     []*sim.Queue
 	dones     []*sim.Event
+	sampProcs []*sim.Proc
+	execProcs []*sim.Proc
 	nextRound int
 
 	// accounting
 	arrived, shed int
+	rerouted      int
 	rounds        int
 	batchSum      int64
+	crashes       []Recovery
 	completed     []*Request
 	latency       []*metrics.Histogram
 	localRows     int64
@@ -319,7 +336,67 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 	s.workload = NewWorkload(d, cfg.Skew)
+	if len(cfg.Faults) > 0 {
+		inj, err := fault.NewInjector(s.m, cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("serve: fault schedule: %w", err)
+		}
+		s.inj = inj
+		s.view = inj.View()
+		// Membership-aware collectives and leader failover: barriers release
+		// on the live count, a death aborts in-flight rounds, and the lowest
+		// live GPU takes over grant ordering.
+		s.world.SetView(s.view)
+		s.execComm.SetView(s.view)
+		s.coord.SetView(s.view)
+		inj.OnCrash(func(p *sim.Proc, f fault.Fault) { s.onCrash(p, f.GPU) })
+	}
 	return s, nil
+}
+
+// alive reports whether GPU g still participates in serving.
+func (s *Server) alive(g int) bool {
+	return s.view == nil || s.view.Alive(g)
+}
+
+// onCrash is the degraded-mode fail-over, run in engine context at the crash
+// instant (the membership view already reflects the death, and every
+// in-flight collective has been voided). It stops the dead GPU's workers,
+// drains its pipeline queues so the controller cannot wedge on them, and
+// re-routes its admitted-but-undispatched requests to the next live GPU.
+// Requests already dispatched to the dead GPU are lost (counted at report
+// time); live GPUs' slices of those rounds complete normally.
+func (s *Server) onCrash(p *sim.Proc, g int) {
+	eng := s.m.Eng
+	s.crashes = append(s.crashes, Recovery{GPU: g, At: p.Now()})
+	if s.sampProcs != nil {
+		eng.Kill(s.sampProcs[g])
+		eng.Kill(s.execProcs[g])
+		for _, q := range []*sim.Queue{s.sampQ[g], s.execQ[g]} {
+			q := q
+			eng.GoDaemon(fmt.Sprintf("fault/drain-gpu%d", g), func(dp *sim.Proc) {
+				for {
+					if _, ok := q.Get(dp); !ok {
+						return
+					}
+				}
+			})
+		}
+	}
+	if s.pending != nil {
+		t := s.view.NextLive(g)
+		for _, r := range s.pending[g] {
+			if len(s.pending[t]) >= s.cfg.QueueDepth {
+				s.shed++
+				continue
+			}
+			r.GPU = t
+			s.pending[t] = append(s.pending[t], r)
+			s.rerouted++
+		}
+		s.pending[g] = nil
+		s.signal()
+	}
 }
 
 func (s *Server) minFreeMem() int64 {
@@ -364,14 +441,22 @@ func (s *Server) Run() (*Report, error) {
 	eng.Go("serve/controller", s.controller)
 	for g := 0; g < n; g++ {
 		g := g
-		eng.Go(fmt.Sprintf("gpu%d/serve-sampler", g), func(p *sim.Proc) { s.sampler(p, g) })
-		eng.Go(fmt.Sprintf("gpu%d/serve-exec", g), func(p *sim.Proc) { s.executor(p, g) })
+		s.sampProcs = append(s.sampProcs,
+			eng.Go(fmt.Sprintf("gpu%d/serve-sampler", g), func(p *sim.Proc) { s.sampler(p, g) }))
+		s.execProcs = append(s.execProcs,
+			eng.Go(fmt.Sprintf("gpu%d/serve-exec", g), func(p *sim.Proc) { s.executor(p, g) }))
+	}
+	if s.inj != nil {
+		s.inj.Arm()
 	}
 	end, err := eng.Run()
 	if err != nil {
 		return nil, err
 	}
 	for g, d := range s.dones {
+		if !s.alive(g) {
+			continue // killed mid-run; its dispatched requests are lost
+		}
 		if !d.Fired() {
 			return nil, fmt.Errorf("serve: GPU %d executor did not finish", g)
 		}
@@ -411,6 +496,10 @@ func (s *Server) generator(p *sim.Proc) {
 		}
 		node := s.workload.Draw(r)
 		g := s.workload.Owner(node)
+		if !s.alive(g) {
+			g = s.view.NextLive(g)
+			s.rerouted++
+		}
 		s.arrived++
 		if len(s.pending[g]) >= cfg.QueueDepth {
 			s.shed++
@@ -548,7 +637,43 @@ func (s *Server) dispatch(p *sim.Proc) {
 	s.rounds++
 	s.traceDepth(p.Now())
 	for g := range s.sampQ {
-		s.sampQ[g].Put(p, rd)
+		if s.alive(g) {
+			s.sampQ[g].Put(p, rd)
+		}
+	}
+}
+
+// retryBackoff is the deterministic pause before re-running a round whose
+// collective attempt was aborted by a membership change (scaled linearly by
+// attempt number). It models the reinitialisation of the communicator under
+// the reduced fleet.
+const retryBackoff sim.Time = 50e-6
+
+// runRound executes one retryable unit of collective work: body runs under a
+// membership generation opened by begin, and is re-run from scratch (after a
+// deterministic backoff) whenever a mid-round death voids the attempt. The
+// round-level retry is consistent because every collective ends in a single
+// barrier release: at any crash instant, either all live ranks already passed
+// the round's last collective (only local work remains) or all of them abort
+// and repeat the round together under the new membership. Kill-unwinds of the
+// dead GPU's own workers (not fault.Aborted) pass through untouched.
+func runRound(p *sim.Proc, begin func(), body func()) {
+	for attempt := 0; ; attempt++ {
+		if func() (done bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(fault.Aborted); !ok {
+						panic(r)
+					}
+					p.Sleep(retryBackoff * sim.Time(attempt+1))
+				}
+			}()
+			begin()
+			body()
+			return true
+		}() {
+			return
+		}
 	}
 }
 
@@ -563,13 +688,15 @@ func (s *Server) sampler(p *sim.Proc, g int) {
 			return
 		}
 		rd := v.(*round)
-		p.Sleep(s.overhead)
-		seeds := make([]graph.NodeID, len(rd.reqs[g]))
-		for i, r := range rd.reqs[g] {
-			seeds[i] = r.Node
-		}
-		mb := s.world.SampleBatchShared(p, g, seeds, s.cfg.Sample, rd.seed)
-		s.execQ[g].Put(p, &execItem{rd: rd, mb: mb})
+		runRound(p, func() { s.world.Comm.Begin(g) }, func() {
+			p.Sleep(s.overhead)
+			seeds := make([]graph.NodeID, len(rd.reqs[g]))
+			for i, r := range rd.reqs[g] {
+				seeds[i] = r.Node
+			}
+			mb := s.world.SampleBatchShared(p, g, seeds, s.cfg.Sample, rd.seed)
+			s.execQ[g].Put(p, &execItem{rd: rd, mb: mb})
+		})
 	}
 }
 
@@ -584,9 +711,23 @@ func (s *Server) executor(p *sim.Proc, g int) {
 			return
 		}
 		it := v.(*execItem)
-		p.Sleep(s.overhead)
-		feats := s.loadFeatures(p, g, it.mb)
-		preds := s.forward(p, g, it.mb, feats)
+		var preds []int32
+		// Row counts accumulate per attempt and commit only on success (the
+		// report counts each served request's rows once); the fabric byte
+		// counters have no such rollback — an aborted round's wire traffic
+		// really crossed the links.
+		var rc rowCounts
+		runRound(p, func() {
+			s.execComm.Begin(g)
+			rc = rowCounts{}
+		}, func() {
+			p.Sleep(s.overhead)
+			feats := s.loadFeatures(p, g, it.mb, &rc)
+			preds = s.forward(p, g, it.mb, feats)
+		})
+		s.localRows += rc.local
+		s.remoteRows += rc.remote
+		s.hostRows += rc.host
 		now := p.Now()
 		batch := len(it.rd.reqs[g])
 		for i, req := range it.rd.reqs[g] {
@@ -609,17 +750,32 @@ func (s *Server) executor(p *sim.Proc, g int) {
 	}
 }
 
+// rowCounts tallies one execution attempt's feature-row placements.
+type rowCounts struct {
+	local, remote, host int64
+}
+
 // loadFeatures mirrors the trainer's loader stage: split by placement, cold
 // rows via UVA concurrently with the NVLink hot-row exchange, then assemble.
-func (s *Server) loadFeatures(p *sim.Proc, g int, mb *sample.MiniBatch) []float32 {
+// Rows cached on a dead GPU fall back to host memory (UVA) — the shard is
+// unreachable but the master copy in host RAM is not.
+func (s *Server) loadFeatures(p *sim.Proc, g int, mb *sample.MiniBatch, rc *rowCounts) []float32 {
 	d := s.cfg.Data
 	dev := s.m.GPUs[g]
 	ids := mb.InputNodes()
 	local, remote, host := s.store.Split(ids, g)
-	s.localRows += int64(len(local))
-	s.hostRows += int64(len(host))
+	if s.view != nil {
+		for q := range remote {
+			if len(remote[q]) > 0 && !s.view.Alive(q) {
+				host = append(host, remote[q]...)
+				remote[q] = nil
+			}
+		}
+	}
+	rc.local += int64(len(local))
+	rc.host += int64(len(host))
 	for _, rq := range remote {
-		s.remoteRows += int64(len(rq))
+		rc.remote += int64(len(rq))
 	}
 	n := s.execComm.N
 

@@ -28,19 +28,22 @@ import (
 type Time float64
 
 // aborted is the sentinel panic value used to unwind parked processes when
-// the engine shuts down early (deadlock or Stop).
+// the engine shuts down early (deadlock or Interrupt).
 type abortSignal struct{}
 
 // Engine is a discrete-event simulation scheduler. Create one with NewEngine,
 // spawn processes with Go, then call Run.
 type Engine struct {
-	now    Time
-	seq    uint64 // monotonically increasing scheduling tiebreaker
-	timers timerHeap
-	ready  []*Proc // FIFO run queue at the current instant
-	live   int     // processes started and not yet finished
-	parked map[*Proc]string
-	yield  chan yieldKind
+	now     Time
+	seq     uint64 // monotonically increasing scheduling tiebreaker
+	procSeq uint64 // process spawn counter (deterministic teardown order)
+	timers  timerHeap
+	ready   []*Proc // FIFO run queue at the current instant
+	live    int     // processes started and not yet finished
+	liveND  int     // live non-daemon processes
+	parked  map[*Proc]string
+	yield   chan yieldKind
+	intr    error // pending interrupt; Run tears down and returns it
 }
 
 type yieldKind int
@@ -66,8 +69,11 @@ func (e *Engine) Now() Time { return e.now }
 type Proc struct {
 	eng    *Engine
 	name   string
+	id     uint64 // spawn order; deterministic tiebreaker
 	resume chan struct{}
 	abort  bool
+	daemon bool
+	done   bool
 	gen    uint64 // incremented on every resume; used to discard stale wakeups
 }
 
@@ -84,10 +90,31 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // running process; the new process becomes runnable at the current virtual
 // time, after all currently runnable processes.
 func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	return e.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a background process that does not keep Run alive: when
+// only daemon timers remain and every non-daemon process has finished, Run
+// returns and leaves the daemons parked for a later Run call. Fault
+// injectors use this so a pending fault scheduled past the end of an epoch
+// does not inflate the epoch's virtual time.
+func (e *Engine) GoDaemon(name string, fn func(*Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(*Proc), daemon bool) *Proc {
+	e.procSeq++
+	p := &Proc{eng: e, name: name, id: e.procSeq, daemon: daemon, resume: make(chan struct{})}
 	e.live++
+	if !daemon {
+		e.liveND++
+	}
 	go func() {
 		<-p.resume
+		if p.abort { // killed before it ever ran
+			e.yield <- yieldFinished
+			return
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(abortSignal); ok {
@@ -109,7 +136,11 @@ func (e *Engine) runOne(p *Proc) {
 	p.resume <- struct{}{}
 	kind := <-e.yield
 	if kind == yieldFinished {
+		p.done = true
 		e.live--
+		if !p.daemon {
+			e.liveND--
+		}
 		delete(e.parked, p)
 	}
 }
@@ -118,6 +149,10 @@ func (e *Engine) runOne(p *Proc) {
 // resumes this process. why describes what the process is waiting for
 // (used in deadlock reports).
 func (p *Proc) park(why string) {
+	if p.abort {
+		// Killed while running: unwind at the next scheduling point.
+		panic(abortSignal{})
+	}
 	p.eng.parked[p] = why
 	p.eng.yield <- yieldParked
 	<-p.resume
@@ -128,8 +163,13 @@ func (p *Proc) park(why string) {
 	}
 }
 
-// makeReady places p on the run queue for the current instant.
+// makeReady places p on the run queue for the current instant. Wakeups
+// delivered to finished processes (e.g. a resource released by an unwinding
+// process admitting a waiter that was itself already aborted) are dropped.
 func (e *Engine) makeReady(p *Proc) {
+	if p.done {
+		return
+	}
 	e.ready = append(e.ready, p)
 }
 
@@ -155,15 +195,27 @@ func (d *DeadlockError) Error() string {
 		float64(d.At), len(d.Parked), strings.Join(d.Parked, "; "))
 }
 
-// Run executes the simulation until no work remains. It returns the final
-// virtual time. If live processes remain parked with no pending timers, Run
-// aborts them and returns a *DeadlockError.
+// Run executes the simulation until no non-daemon work remains. It returns
+// the final virtual time. If non-daemon processes remain parked with no
+// pending timers, Run aborts everything and returns a *DeadlockError. If a
+// process called Interrupt, Run tears the simulation down deterministically
+// and returns the interrupt error. Parked daemon processes survive a clean
+// return and resume on the next Run call.
 func (e *Engine) Run() (Time, error) {
 	for {
 		for len(e.ready) > 0 {
 			p := e.ready[0]
 			e.ready = e.ready[1:]
+			if p.done {
+				continue
+			}
 			e.runOne(p)
+		}
+		if e.intr != nil {
+			err := e.intr
+			e.intr = nil
+			e.teardown()
+			return e.now, err
 		}
 		if e.timers.Len() == 0 {
 			break
@@ -175,33 +227,102 @@ func (e *Engine) Run() (Time, error) {
 			// stale timer without advancing virtual time.
 			continue
 		}
+		if t.p.daemon && e.liveND == 0 {
+			// Only daemon work remains: stop here without advancing to the
+			// daemon's wakeup time. The timer stays registered so the next
+			// Run call (same engine, more work spawned) resumes it.
+			heap.Push(&e.timers, t)
+			break
+		}
 		if t.at > e.now {
 			e.now = t.at
 		}
 		e.makeReady(t.p)
 	}
-	if e.live > 0 {
+	if e.liveND > 0 {
 		derr := &DeadlockError{At: e.now}
-		procs := make([]*Proc, 0, len(e.parked))
-		for p := range e.parked {
-			procs = append(procs, p)
-		}
-		sort.Slice(procs, func(i, j int) bool { return procs[i].name < procs[j].name })
-		for _, p := range procs {
+		for _, p := range e.parkedByID() {
 			derr.Parked = append(derr.Parked, p.name+": "+e.parked[p])
 		}
-		e.abortParked(procs)
+		e.teardown()
 		return e.now, derr
 	}
 	return e.now, nil
 }
 
-// abortParked unwinds stuck processes so their goroutines exit.
-func (e *Engine) abortParked(procs []*Proc) {
-	for _, p := range procs {
+// Interrupt asks the engine to abort the simulation: once the current
+// instant's run queue drains, Run unwinds every live process (daemons
+// included), discards all timers and returns err. It models a fatal,
+// machine-wide fault (e.g. a GPU crash detected by the training driver) and
+// must be called from within a running process. The engine itself remains
+// usable: virtual time is preserved and new processes may be spawned for a
+// subsequent Run.
+func (e *Engine) Interrupt(err error) {
+	if err == nil {
+		panic("sim: Interrupt requires a non-nil error")
+	}
+	if e.intr == nil {
+		e.intr = err
+	}
+}
+
+// Kill aborts a single process: parked, queued or not-yet-started processes
+// unwind at the current instant; a process that is currently running (for
+// example the caller itself) unwinds at its next scheduling point. Killing a
+// finished process is a no-op. Pending timers and event registrations of the
+// victim are discarded via its generation counter.
+func (e *Engine) Kill(p *Proc) {
+	if p.done {
+		return
+	}
+	p.abort = true
+	for _, q := range e.ready {
+		if q == p {
+			return // already queued; aborts when resumed
+		}
+	}
+	if _, ok := e.parked[p]; ok {
+		e.makeReady(p)
+	}
+	// Otherwise p is running right now; park's entry check unwinds it.
+}
+
+// parkedByID returns the parked processes in spawn order (deterministic).
+func (e *Engine) parkedByID() []*Proc {
+	procs := make([]*Proc, 0, len(e.parked))
+	for p := range e.parked {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+	return procs
+}
+
+// teardown unwinds every live process in deterministic order (ready queue
+// first, then parked processes by spawn id) and clears all timers. Unwinding
+// one process may ready others (deferred releases admit waiters); those run
+// next, so FIFO admissions stay consistent during shutdown.
+func (e *Engine) teardown() {
+	e.timers = nil
+	for e.live > 0 {
+		var p *Proc
+		if len(e.ready) > 0 {
+			p = e.ready[0]
+			e.ready = e.ready[1:]
+			if p.done {
+				continue
+			}
+		} else {
+			parked := e.parkedByID()
+			if len(parked) == 0 {
+				break
+			}
+			p = parked[0]
+		}
 		p.abort = true
 		e.runOne(p)
 	}
+	e.ready = nil
+	e.parked = map[*Proc]string{}
 }
 
 type timer struct {
@@ -278,6 +399,16 @@ func (ev *Event) Wait(p *Proc) {
 // wakeup source (the pending timer, or the waiter registration) is discarded
 // via the process generation counter, so neither a spurious resume nor an
 // inflated end-of-run time can result. Negative d waits 0.
+//
+// Edge cases are pinned deterministically:
+//   - d == 0 parks the process and wakes it at the same instant via its
+//     timer, after every currently runnable process has run. A Trigger from
+//     any of those processes therefore wins over a zero timeout.
+//   - A wake-vs-timeout tie at the same virtual instant resolves in
+//     scheduling-sequence order: a Trigger delivered while the waiter is
+//     still parked always beats the timeout (the timer becomes stale), and
+//     when both sides are driven by timers at the same instant, the timer
+//     registered first fires first.
 func (ev *Event) WaitTimeout(p *Proc, d Time) bool {
 	if ev.fired {
 		return true
@@ -362,13 +493,22 @@ func (r *Resource) Acquire(p *Proc, n int) {
 }
 
 // Release returns n units and admits waiting processes in FIFO order.
+// Waiters that were killed while parked are dropped without being charged —
+// they will never run to release what they'd be granted.
 func (r *Resource) Release(n int) {
 	r.inUse -= n
 	if r.inUse < 0 {
 		panic("sim: resource over-release")
 	}
-	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.capacity {
+	for len(r.waiters) > 0 {
 		w := r.waiters[0]
+		if w.p.done || w.p.abort {
+			r.waiters = r.waiters[1:]
+			continue
+		}
+		if r.inUse+w.n > r.capacity {
+			break
+		}
 		r.waiters = r.waiters[1:]
 		r.inUse += w.n
 		r.eng.makeReady(w.p)
@@ -377,10 +517,12 @@ func (r *Resource) Release(n int) {
 
 // Use acquires one unit, sleeps for service, then releases: the single-server
 // FCFS queue used to model bandwidth-serialised links and serialized kernels.
+// The release is deferred so a process killed mid-service still returns its
+// units as it unwinds (a dead GPU must not wedge a shared link).
 func (r *Resource) Use(p *Proc, n int, service Time) {
 	r.Acquire(p, n)
+	defer r.Release(n)
 	p.Sleep(service)
-	r.Release(n)
 }
 
 // InUse returns the number of units currently held.

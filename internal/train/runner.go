@@ -21,6 +21,14 @@ import (
 // pay it concurrently, which is part of what the pipeline hides.
 func RunEpoch(m *hw.Machine, epoch int, pipelined bool, queueCap int, overhead sim.Time,
 	stagesFor func(rank int, st *EpochStats) pipeline.Stages) (EpochStats, error) {
+	return RunEpochSteps(m, epoch, 0, -1, pipelined, queueCap, overhead, stagesFor)
+}
+
+// RunEpochSteps is RunEpoch restricted to steps [from, to) — the partial-epoch
+// replay primitive of the fault-tolerance driver. to < 0 keeps the stage
+// builder's NumBatches (a full epoch from from).
+func RunEpochSteps(m *hw.Machine, epoch, from, to int, pipelined bool, queueCap int, overhead sim.Time,
+	stagesFor func(rank int, st *EpochStats) pipeline.Stages) (EpochStats, error) {
 	n := len(m.GPUs)
 	eng := m.Eng
 	start := eng.Now()
@@ -37,6 +45,10 @@ func RunEpoch(m *hw.Machine, epoch int, pipelined bool, queueCap int, overhead s
 	var dones []*sim.Event
 	for rank := 0; rank < n; rank++ {
 		stages := stagesFor(rank, &stats[rank])
+		stages.FirstBatch = from
+		if to >= 0 {
+			stages.NumBatches = to
+		}
 		stages = withOverhead(stages, overhead)
 		stages = withStageTiming(stages, &stats[rank])
 		if tr := m.GPUs[rank].Tracer; tr.Enabled() {

@@ -7,6 +7,7 @@ package train
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/hw"
@@ -222,6 +223,10 @@ type Options struct {
 	// divided by LatencyScale like other per-batch fixed costs. 0 selects
 	// the 2 ms default; negative disables it.
 	StageOverhead sim.Time
+	// Faults is the injected fault schedule (fault-tolerance runs). The
+	// system builds the injector; the FT driver arms it. Fault times are
+	// GLOBAL virtual time — a rebuilt fleet skips faults already delivered.
+	Faults []fault.Fault
 }
 
 // EffectiveStageOverhead resolves the per-stage host cost after scaling.

@@ -9,15 +9,21 @@
 //
 //	dspdata -dataset papers -gpus 8 -out papers-8.dspd
 //	dspdata -inspect papers-8.dspd
+//	dspdata -preview papers-8.dspd -skew 1.2 -drift-every 0.1   # serving workload preview
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/sim"
 	"repro/internal/train"
 )
 
@@ -29,9 +35,24 @@ func main() {
 		out     = flag.String("out", "", "output path (default <dataset>-<gpus>.dspd)")
 		hash    = flag.Bool("hash", false, "hash partitioning instead of METIS")
 		inspect = flag.String("inspect", "", "print a stored file's summary and exit")
-		seed    = flag.Uint64("seed", 13, "partitioner seed")
+		preview = flag.String("preview", "", "preview the serving workload of a stored file and exit")
+		skew    = flag.Float64("skew", 0.8, "preview: power-law popularity exponent")
+		drift   = flag.Float64("drift-every", 0, "preview: popularity re-draw period in virtual seconds (0 = static)")
+		draws   = flag.Int("draws", 20000, "preview: samples per phase")
+		phases  = flag.Int("phases", 3, "preview: number of drift phases to sample")
+		seed    = flag.Uint64("seed", 13, "partitioner (or preview) seed")
 	)
 	flag.Parse()
+
+	if *preview != "" {
+		td, err := graphio.LoadFile(*preview)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspdata: %v\n", err)
+			os.Exit(1)
+		}
+		previewWorkload(td, *skew, sim.Time(*drift), *draws, *phases, *seed)
+		return
+	}
 
 	if *inspect != "" {
 		td, err := graphio.LoadFile(*inspect)
@@ -69,4 +90,51 @@ func main() {
 	}
 	info, _ := os.Stat(path)
 	fmt.Printf("wrote %s (%.1f MB)\n", path, float64(info.Size())/(1<<20))
+}
+
+// previewWorkload samples the serving popularity distribution per drift phase
+// and prints how concentrated the traffic is (share of draws hitting the top
+// 1% of nodes) and how it lands across the patches — the numbers that decide
+// whether a static cache placement can hold up or the adaptive rebalancer has
+// work to do.
+func previewWorkload(td *train.Data, skew float64, drift sim.Time, draws, phases int, seed uint64) {
+	w := serve.NewWorkload(td, skew)
+	if drift > 0 {
+		w.EnableDrift(drift, rng.Mix(seed, 0xD21F7))
+	} else {
+		phases = 1
+	}
+	n := td.G.NumNodes()
+	top := n / 100
+	if top < 1 {
+		top = 1
+	}
+	fmt.Printf("workload preview: skew %.2f, drift every %gs, %d draws per phase\n",
+		skew, float64(drift), draws)
+	for ph := 0; ph < phases; ph++ {
+		now := (sim.Time(ph) + 0.5) * drift
+		r := rng.New(rng.Mix(seed, uint64(ph), 0x9E37))
+		freq := make(map[graph.NodeID]int, draws)
+		perGPU := make([]int, td.NumGPUs())
+		for i := 0; i < draws; i++ {
+			v := w.Draw(r, now)
+			freq[v]++
+			perGPU[w.Owner(v)]++
+		}
+		counts := make([]int, 0, len(freq))
+		for _, c := range freq {
+			counts = append(counts, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		hot := 0
+		for i := 0; i < len(counts) && i < top; i++ {
+			hot += counts[i]
+		}
+		fmt.Printf("  phase %d: %d distinct nodes, top-1%% share %.1f%%, per-patch", ph, len(freq),
+			100*float64(hot)/float64(draws))
+		for g, c := range perGPU {
+			fmt.Printf("  p%d %.0f%%", g, 100*float64(c)/float64(draws))
+		}
+		fmt.Println()
+	}
 }

@@ -9,6 +9,7 @@
 //	dspserve -rate 20000 -mode single          # batching ablation: no batching
 //	dspserve -rate 4000 -skew 1.2 -real        # hotter skew, real fp32 forward
 //	dspserve -rate 8000 -trace serve.json      # per-request Chrome trace
+//	dspserve -drift-every 0.1 -cache lfu       # adaptive cache vs popularity drift
 //
 // Fault injection: -faults drives degraded-mode serving — a crashed GPU's
 // requests re-route to the next live replica and the fleet keeps answering.
@@ -23,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graphio"
@@ -47,6 +49,10 @@ func main() {
 		queue    = flag.Int("queue", 0, "admission queue depth per GPU (0 = 4x maxbatch)")
 		seed     = flag.Uint64("seed", 1, "run seed")
 		real     = flag.Bool("real", false, "run the real fp32 forward pass and report predictions")
+		cachePol = flag.String("cache", "static", "adaptive cache policy: static, lfu, hybrid")
+		rebEvery = flag.Float64("rebalance-every", 25e-3, "cache rebalance period in virtual seconds")
+		drift    = flag.Float64("drift-every", 0, "re-draw the popularity assignment at this virtual period (0 = static popularity)")
+		budget   = flag.Int64("cache-budget", 0, "per-GPU feature cache budget in bytes (0 = fill free memory)")
 		traceTo  = flag.String("trace", "", "write a Chrome trace of the run to this file")
 		faultSp  = flag.String("faults", "",
 			"fault schedule, e.g. 'crash@gpu2:t=0.2,stall@gpu0:t=0.1+50ms' (crashes switch to degraded serving)")
@@ -107,19 +113,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	policy, err := cache.ParsePolicy(*cachePol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+		os.Exit(2)
+	}
+
 	cfg := serve.Config{
-		Data:        td,
-		RealCompute: *real,
-		Seed:        *seed,
-		Duration:    sim.Time(*duration),
-		Rate:        *rate,
-		Skew:        *skew,
-		Batching:    batching,
-		MaxBatch:    *maxBatch,
-		MaxWait:     sim.Time(*maxWait),
-		QueueDepth:  *queue,
-		UseCCC:      true,
-		Faults:      faults,
+		Data:               td,
+		RealCompute:        *real,
+		Seed:               *seed,
+		Duration:           sim.Time(*duration),
+		Rate:               *rate,
+		Skew:               *skew,
+		Batching:           batching,
+		MaxBatch:           *maxBatch,
+		MaxWait:            sim.Time(*maxWait),
+		QueueDepth:         *queue,
+		UseCCC:             true,
+		FeatureCacheBudget: *budget,
+		DynamicCache:       policy,
+		RebalanceEvery:     sim.Time(*rebEvery),
+		DriftEvery:         sim.Time(*drift),
+		Faults:             faults,
 	}
 	if *traceTo != "" {
 		cfg.Tracer = trace.New()

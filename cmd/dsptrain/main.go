@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/baselines"
+	"repro/internal/cache"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -37,14 +38,17 @@ import (
 
 func main() {
 	var (
-		dsName  = flag.String("dataset", "products", "dataset: products, papers, friendster")
-		gpus    = flag.Int("gpus", 4, "simulated GPU count (1-8)")
-		epochs  = flag.Int("epochs", 5, "training epochs")
-		archStr = flag.String("arch", "sage", "model: sage or gcn")
-		hidden  = flag.Int("hidden", 64, "hidden units (paper uses 256; smaller is faster on the host)")
-		batch   = flag.Int("batch", 512, "batch size")
-		shrink  = flag.Int("shrink", 4, "dataset shrink divisor")
-		sysName = flag.String("system", "dsp", "system: dsp, dsp-seq, pyg, dgl-cpu, dgl-uva, quiver")
+		dsName   = flag.String("dataset", "products", "dataset: products, papers, friendster")
+		gpus     = flag.Int("gpus", 4, "simulated GPU count (1-8)")
+		epochs   = flag.Int("epochs", 5, "training epochs")
+		archStr  = flag.String("arch", "sage", "model: sage or gcn")
+		hidden   = flag.Int("hidden", 64, "hidden units (paper uses 256; smaller is faster on the host)")
+		batch    = flag.Int("batch", 512, "batch size")
+		shrink   = flag.Int("shrink", 4, "dataset shrink divisor")
+		sysName  = flag.String("system", "dsp", "system: dsp, dsp-seq, pyg, dgl-cpu, dgl-uva, quiver")
+		cachePol = flag.String("cache", "static",
+			"adaptive feature-cache policy: static, lfu, hybrid (dsp systems; rebalances at epoch boundaries)")
+		budget  = flag.Int64("cache-budget", 0, "per-GPU feature cache budget in bytes (0 = fill free memory)")
 		seed    = flag.Uint64("seed", 1, "run seed")
 		traceTo = flag.String("trace", "", "write a Chrome trace of the run to this file")
 		dataIn  = flag.String("data", "", "load a prepared .dspd dataset (from dspdata) instead of generating")
@@ -106,6 +110,12 @@ func main() {
 		Seed:        *seed,
 		Faults:      faults,
 	}
+	opts.DynamicCache, err = cache.ParsePolicy(*cachePol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+		os.Exit(2)
+	}
+	opts.FeatureCacheBudget = *budget
 
 	var sys train.System
 	switch strings.ToLower(*sysName) {
@@ -223,6 +233,12 @@ func main() {
 		fmt.Printf("%5d  %11.4g  %9.3f  %7.3f  %9.1f  %10.1f\n",
 			e, cum, st.Acc(), valAcc,
 			float64(st.SampleWire)/(1<<20), float64(st.FeatureWire)/(1<<20))
+		if total := st.CacheLocal + st.CachePeer + st.CacheHost; total > 0 && opts.DynamicCache != cache.Static {
+			fmt.Printf("       cache hit %.1f%% (local %d, nvlink %d, host %d)  promoted %d rows, %.1f MB, %.3gms\n",
+				100*float64(st.CacheLocal+st.CachePeer)/float64(total),
+				st.CacheLocal, st.CachePeer, st.CacheHost,
+				st.CachePromoted, float64(st.RebalanceBytes)/(1<<20), 1e3*float64(st.RebalanceTime))
+		}
 	}
 	if *saveTo != "" {
 		if err := sys.Model().SaveFile(*saveTo); err != nil {

@@ -309,6 +309,7 @@ var Experiments = map[string]func(w io.Writer, cfg RunConfig) error{
 	"ext-gnn-archs":     runnerFor(ExtensionGNNArchs),
 	"serve-load":        runnerFor(ServeLoad),
 	"fault-sweep":       runnerFor(FaultSweep),
+	"cache-sweep":       runnerFor(CacheSweep),
 }
 
 // ExperimentNames returns the registry keys sorted.

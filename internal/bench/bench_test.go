@@ -455,3 +455,22 @@ func TestFaultSweepShape(t *testing.T) {
 		t.Errorf("unanswered%% %.1f out of range", un)
 	}
 }
+
+func TestCacheSweepOrdering(t *testing.T) {
+	tab, err := CacheSweep(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, lfu := tab.Get("static", "hit%"), tab.Get("lfu-decay", "hit%")
+	if lfu <= static {
+		t.Errorf("lfu-decay hit %.2f%% not above static %.2f%% under drift", lfu, static)
+	}
+	if tab.Get("static", "migrated MB") != 0 || tab.Get("static", "rebal%") != 0 {
+		t.Error("static policy paid migration cost")
+	}
+	for _, pol := range []string{"lfu-decay", "degree-hybrid"} {
+		if tab.Get(pol, "migrated MB") <= 0 {
+			t.Errorf("%s migrated nothing", pol)
+		}
+	}
+}

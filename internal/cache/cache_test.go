@@ -1,0 +1,260 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/featstore"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hw"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+type fixture struct {
+	g       *graph.CSR
+	feats   []float32
+	dim     int
+	offsets []int64
+}
+
+func build(t *testing.T, k int) *fixture {
+	t.Helper()
+	d := gen.Generate(gen.Config{
+		Name: "cache-t", Nodes: 1200, AvgDegree: 8, FeatDim: 8, NumClasses: 4, Seed: 5,
+	})
+	res := partition.Metis(d.G, k, 1)
+	ren := partition.BuildRenumbering(res)
+	return &fixture{
+		g:       ren.ApplyToGraph(d.G),
+		feats:   ren.ApplyToFeatures(d.Features, d.FeatDim),
+		dim:     d.FeatDim,
+		offsets: ren.Offsets,
+	}
+}
+
+func (f *fixture) store(budgetRows int64) *featstore.Store {
+	return featstore.BuildPartitioned(f.g, f.feats, f.dim, f.offsets,
+		budgetRows*int64(f.dim*4), featstore.ByDegree)
+}
+
+// runSim executes fn in a simulation process on a fresh 2-GPU machine and
+// returns the machine.
+func runSim(t *testing.T, n int, fn func(p *sim.Proc, m *hw.Machine)) *hw.Machine {
+	t.Helper()
+	m := hw.NewMachine(n, hw.V100(), hw.XeonE5())
+	m.Eng.Go("test", func(p *sim.Proc) { fn(p, m) })
+	if _, err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// coldIDs returns n uncached rows of GPU g's range.
+func coldIDs(s *featstore.Store, offsets []int64, g, n int) []graph.NodeID {
+	var out []graph.NodeID
+	for v := offsets[g]; v < offsets[g+1] && len(out) < n; v++ {
+		if s.Holder(graph.NodeID(v)) < 0 {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+func TestRebalancePromotesObservedHotRows(t *testing.T) {
+	f := build(t, 2)
+	s := f.store(50)
+	mgr := New(s, f.g, f.offsets, Config{Policy: LFUDecay})
+	hot := coldIDs(s, f.offsets, 0, 10)
+	if len(hot) != 10 {
+		t.Fatalf("fixture has only %d cold rows", len(hot))
+	}
+	runSim(t, 2, func(p *sim.Proc, m *hw.Machine) {
+		for i := 0; i < 5; i++ {
+			mgr.Split(hot, 0) // hammer the cold rows
+		}
+		mgr.Rebalance(p, m.Fabric)
+	})
+	for _, v := range hot {
+		if s.Holder(v) != 0 {
+			t.Fatalf("hot row %d not promoted to GPU 0 (holder %d)", v, s.Holder(v))
+		}
+	}
+	for g := 0; g < 2; g++ {
+		if s.CachedRows[g] != 50 {
+			t.Fatalf("GPU %d shard grew to %d rows (budget 50)", g, s.CachedRows[g])
+		}
+	}
+	st := mgr.Stats()
+	if st.Promoted != 10 || st.Demoted != 10 {
+		t.Fatalf("promoted %d demoted %d, want 10/10", st.Promoted, st.Demoted)
+	}
+	if want := int64(10 * f.dim * 4); st.MovedBytes != want {
+		t.Fatalf("moved %d bytes, want %d", st.MovedBytes, want)
+	}
+	if st.Rebalances != 1 || st.RebalanceTime <= 0 {
+		t.Fatalf("rebalances %d time %v", st.Rebalances, st.RebalanceTime)
+	}
+}
+
+func TestStaticPolicyNeverMoves(t *testing.T) {
+	f := build(t, 2)
+	s := f.store(50)
+	mgr := New(s, f.g, f.offsets, Config{Policy: Static})
+	if mgr.Dynamic() {
+		t.Fatal("static manager claims to be dynamic")
+	}
+	hot := coldIDs(s, f.offsets, 0, 10)
+	before := append([]int64(nil), s.CachedRows...)
+	runSim(t, 2, func(p *sim.Proc, m *hw.Machine) {
+		for i := 0; i < 20; i++ {
+			mgr.Split(hot, 0)
+		}
+		mgr.Rebalance(p, m.Fabric)
+	})
+	st := mgr.Stats()
+	if st.Promoted != 0 || st.MovedBytes != 0 || st.Rebalances != 0 {
+		t.Fatalf("static policy moved rows: %+v", st)
+	}
+	for g := range before {
+		if s.CachedRows[g] != before[g] {
+			t.Fatalf("GPU %d shard changed under static policy", g)
+		}
+	}
+	for _, v := range hot {
+		if s.Holder(v) >= 0 {
+			t.Fatalf("row %d promoted under static policy", v)
+		}
+	}
+}
+
+func TestRebalanceSkipsDeadGPUAndReroutesReads(t *testing.T) {
+	f := build(t, 2)
+	s := f.store(50)
+	mgr := New(s, f.g, f.offsets, Config{Policy: LFUDecay})
+	view := fault.NewView(2)
+	mgr.SetView(view)
+	hot0 := coldIDs(s, f.offsets, 0, 5)
+	hot1 := coldIDs(s, f.offsets, 1, 5)
+	// A row cached on GPU 1, to be read from GPU 0 after the death.
+	var onGPU1 graph.NodeID = -1
+	for v := f.offsets[1]; v < f.offsets[2]; v++ {
+		if s.Holder(graph.NodeID(v)) == 1 {
+			onGPU1 = graph.NodeID(v)
+			break
+		}
+	}
+	runSim(t, 2, func(p *sim.Proc, m *hw.Machine) {
+		mgr.Split(append(append([]graph.NodeID(nil), hot0...), hot1...), 0)
+		view.Kill(1)
+		local, remote, host := mgr.Split([]graph.NodeID{onGPU1}, 0)
+		if len(local) != 0 || len(remote[1]) != 0 || len(host) != 1 {
+			t.Errorf("dead-holder read not rerouted to host: %v %v %v", local, remote, host)
+		}
+		mgr.Rebalance(p, m.Fabric)
+	})
+	for _, v := range hot1 {
+		if s.Holder(v) >= 0 {
+			t.Fatalf("dead GPU 1's shard was rebalanced (row %d)", v)
+		}
+	}
+	promoted := 0
+	for _, v := range hot0 {
+		if s.Holder(v) == 0 {
+			promoted++
+		}
+	}
+	if promoted != 5 {
+		t.Fatalf("live GPU promoted %d of 5 hot rows", promoted)
+	}
+}
+
+func TestMaxMovesCapAndDecay(t *testing.T) {
+	f := build(t, 2)
+	s := f.store(50)
+	mgr := New(s, f.g, f.offsets, Config{Policy: LFUDecay, MaxMovesPerGPU: 3, Decay: 0.5})
+	hot := coldIDs(s, f.offsets, 0, 10)
+	runSim(t, 2, func(p *sim.Proc, m *hw.Machine) {
+		mgr.Split(hot, 0)
+		c0 := mgr.counts[hot[0]]
+		mgr.Rebalance(p, m.Fabric)
+		if got := mgr.counts[hot[0]]; got != c0*0.5 {
+			t.Errorf("counter not decayed: %g -> %g", c0, got)
+		}
+	})
+	if st := mgr.Stats(); st.Promoted != 3 {
+		t.Fatalf("promoted %d rows, cap is 3", st.Promoted)
+	}
+}
+
+func TestAccountTiersAndHitRate(t *testing.T) {
+	f := build(t, 2)
+	s := f.store(50)
+	mgr := New(s, f.g, f.offsets, Config{})
+	mgr.Account(0, Tiers{Local: 6, Peer: 2, Host: 2})
+	mgr.Account(1, Tiers{Local: 1, Peer: 0, Host: 4})
+	st := mgr.Stats()
+	if st.Tiers != (Tiers{Local: 7, Peer: 2, Host: 6}) {
+		t.Fatalf("fleet tiers %+v", st.Tiers)
+	}
+	if st.PerGPU[0] != (Tiers{Local: 6, Peer: 2, Host: 2}) {
+		t.Fatalf("per-GPU tiers %+v", st.PerGPU[0])
+	}
+	if got, want := st.Tiers.HitRate(), 9.0/15.0; got != want {
+		t.Fatalf("hit rate %g, want %g", got, want)
+	}
+	if (Tiers{}).HitRate() != 0 {
+		t.Fatal("empty tiers hit rate not 0")
+	}
+}
+
+func TestRebalanceDeterminism(t *testing.T) {
+	f := build(t, 2)
+	run := func() ([]int, Stats) {
+		s := f.store(40)
+		mgr := New(s, f.g, f.offsets, Config{Policy: DegreeHybrid})
+		runSim(t, 2, func(p *sim.Proc, m *hw.Machine) {
+			for i := 0; i < 3; i++ {
+				mgr.Split(coldIDs(s, f.offsets, 0, 20), 0)
+				mgr.Split(coldIDs(s, f.offsets, 1, 7), 1)
+				mgr.Rebalance(p, m.Fabric)
+			}
+		})
+		holders := make([]int, f.g.NumNodes())
+		for v := range holders {
+			holders[v] = s.Holder(graph.NodeID(v))
+		}
+		return holders, mgr.Stats()
+	}
+	h1, s1 := run()
+	h2, s2 := run()
+	for v := range h1 {
+		if h1[v] != h2[v] {
+			t.Fatalf("placement diverged at row %d: %d vs %d", v, h1[v], h2[v])
+		}
+	}
+	if s1.Promoted != s2.Promoted || s1.MovedBytes != s2.MovedBytes ||
+		s1.RebalanceTime != s2.RebalanceTime {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
+	}
+	if s1.Promoted == 0 {
+		t.Fatal("determinism test moved nothing")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{
+		"static": Static, "": Static,
+		"lfu": LFUDecay, "lfu-decay": LFUDecay,
+		"hybrid": DegreeHybrid, "degree-hybrid": DegreeHybrid,
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/csp"
@@ -43,10 +44,11 @@ const (
 type DSP struct {
 	Opts train.Options
 
-	m     *hw.Machine
-	world *csp.World
-	store *featstore.Store
-	coord *pipeline.Coordinator
+	m        *hw.Machine
+	world    *csp.World
+	store    *featstore.Store
+	cacheMgr *cache.Manager
+	coord    *pipeline.Coordinator
 
 	loaderComm *comm.Communicator
 	trainer    *train.Trainer
@@ -142,6 +144,9 @@ func New(opts train.Options) (*DSP, error) {
 			return nil, fmt.Errorf("core: feature cache: %w", err)
 		}
 	}
+	mcfg := opts.CacheTune
+	mcfg.Policy = opts.DynamicCache
+	s.cacheMgr = cache.New(s.store, d.G, d.Offsets, mcfg)
 
 	// Distinct CCC worker ids: samplers 0..nS-1, loaders nS..nS+nL-1,
 	// trainer last.
@@ -172,6 +177,7 @@ func New(opts train.Options) (*DSP, error) {
 			return nil, fmt.Errorf("core: fault schedule: %w", err)
 		}
 		s.inj = inj
+		s.cacheMgr.SetView(inj.View())
 	}
 	return s, nil
 }
@@ -261,7 +267,10 @@ func (s *DSP) loadStageWith(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *com
 	d := s.Opts.Data
 	dev := s.m.GPUs[rank]
 	ids := mb.InputNodes()
-	local, remote, host := s.store.Split(ids, rank)
+	// The manager's Split records row hotness for the epoch-boundary
+	// rebalancer and re-routes dead-holder rows to the host tier.
+	local, remote, host := s.cacheMgr.Split(ids, rank)
+	s.cacheMgr.Account(rank, cache.CountTiers(local, remote, host))
 	n := lc.N
 
 	// Cold rows via UVA, concurrently with the NVLink path.
@@ -316,11 +325,15 @@ func (s *DSP) RunEpoch(epoch int) (train.EpochStats, error) {
 }
 
 // RunEpochRange implements train.Recoverable: steps [from, to) of one epoch.
+// When the range completes the epoch and a dynamic cache policy is selected,
+// the shard rebalance runs at the boundary and its migration cost is charged
+// to the epoch's virtual time.
 func (s *DSP) RunEpochRange(epoch, from, to int) (train.EpochStats, error) {
 	if len(s.worlds) > 1 || len(s.loaderComms) > 1 {
 		return train.EpochStats{}, fmt.Errorf("core: fault tolerance is unsupported with multi-instance workers")
 	}
-	return train.RunEpochSteps(s.m, epoch, from, to, s.Opts.Pipeline, s.Opts.QueueCap, s.Opts.EffectiveStageOverhead(),
+	before := s.cacheMgr.Stats()
+	st, err := train.RunEpochSteps(s.m, epoch, from, to, s.Opts.Pipeline, s.Opts.QueueCap, s.Opts.EffectiveStageOverhead(),
 		func(rank int, st *train.EpochStats) pipeline.Stages {
 			return pipeline.Stages{
 				NumBatches: s.sched.Steps,
@@ -336,7 +349,36 @@ func (s *DSP) RunEpochRange(epoch, from, to int) (train.EpochStats, error) {
 				},
 			}
 		})
+	if err != nil {
+		return st, err
+	}
+	// Epoch-boundary adaptation (only when this range reaches the epoch's
+	// end — checkpoint segments mid-epoch do not rebalance). RunEpochSteps
+	// measures its own window, so the rebalance runs as a separate engine
+	// pass and its duration is added to the epoch time explicitly.
+	if to >= s.sched.Steps && s.cacheMgr.Dynamic() {
+		t0 := s.m.Eng.Now()
+		s.m.Eng.Go("cache/rebalance", func(p *sim.Proc) {
+			s.cacheMgr.Rebalance(p, s.m.Fabric)
+		})
+		end, err := s.m.Eng.Run()
+		if err != nil {
+			return st, err
+		}
+		st.EpochTime += end - t0
+	}
+	after := s.cacheMgr.Stats()
+	st.CacheLocal = after.Tiers.Local - before.Tiers.Local
+	st.CachePeer = after.Tiers.Peer - before.Tiers.Peer
+	st.CacheHost = after.Tiers.Host - before.Tiers.Host
+	st.CachePromoted = after.Promoted - before.Promoted
+	st.RebalanceBytes = after.MovedBytes - before.MovedBytes
+	st.RebalanceTime = after.RebalanceTime - before.RebalanceTime
+	return st, nil
 }
+
+// CacheStats exposes the adaptive cache manager's cumulative accounting.
+func (s *DSP) CacheStats() cache.Stats { return s.cacheMgr.Stats() }
 
 // Steps implements train.Recoverable.
 func (s *DSP) Steps() int { return s.sched.Steps }

@@ -132,6 +132,49 @@ func (s *Store) Locate(v graph.NodeID, g int) (Placement, int) {
 	}
 }
 
+// NumRows returns the number of feature rows in the store.
+func (s *Store) NumRows() int { return len(s.features) / s.Dim }
+
+// Holder returns the GPU caching v's row under the Partitioned layout
+// (-1 = not cached). It panics on other layouts, which have no per-row
+// holder.
+func (s *Store) Holder(v graph.NodeID) int {
+	if s.Layout != Partitioned {
+		panic("featstore: Holder is only defined for the Partitioned layout")
+	}
+	return int(s.cacheGPU[v])
+}
+
+// Promote caches v's row on GPU g (Partitioned layout only). The caller is
+// responsible for budget accounting: pair every promotion of a full cache
+// with a Demote, as the adaptive rebalancer does.
+func (s *Store) Promote(v graph.NodeID, g int) {
+	if s.Layout != Partitioned {
+		panic("featstore: Promote is only defined for the Partitioned layout")
+	}
+	if old := s.cacheGPU[v]; old >= 0 {
+		if int(old) == g {
+			return
+		}
+		s.CachedRows[old]--
+	}
+	s.cacheGPU[v] = int8(g)
+	s.CachedRows[g]++
+}
+
+// Demote evicts v's cached row (Partitioned layout only; evicting an
+// uncached row is a no-op). The master copy in host memory remains readable
+// via UVA.
+func (s *Store) Demote(v graph.NodeID) {
+	if s.Layout != Partitioned {
+		panic("featstore: Demote is only defined for the Partitioned layout")
+	}
+	if old := s.cacheGPU[v]; old >= 0 {
+		s.CachedRows[old]--
+		s.cacheGPU[v] = -1
+	}
+}
+
 // Split partitions requested ids by placement for requesting GPU g:
 // local rows, per-remote-GPU rows, and host rows.
 func (s *Store) Split(ids []graph.NodeID, g int) (local []graph.NodeID, remote [][]graph.NodeID, host []graph.NodeID) {

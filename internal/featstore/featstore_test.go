@@ -285,6 +285,103 @@ func TestSplitProperty(t *testing.T) {
 	}
 }
 
+// TestSplitExactPartitionAllLayouts: for every layout — partitioned,
+// replicated, host-only, and a zero-budget partitioned store — Split's three
+// outputs are exactly a permutation of the input multiset: concatenated they
+// have the same length and the same per-id multiplicity, with no id invented
+// or dropped.
+func TestSplitExactPartitionAllLayouts(t *testing.T) {
+	f := build(t, 4)
+	budget := int64(120 * f.d.FeatDim * 4)
+	stores := map[string]*Store{
+		"partitioned": BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, budget, ByDegree),
+		"replicated":  BuildReplicated(f.g, f.feats, f.d.FeatDim, 4, budget, ByDegree),
+		"hostonly":    BuildHostOnly(f.g.NumNodes(), f.feats, f.d.FeatDim, 4),
+		"zerobudget":  BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, 0, ByDegree),
+	}
+	for name, s := range stores {
+		s := s
+		check := func(seed uint64, gRaw uint8) bool {
+			r := rng.New(seed)
+			g := int(gRaw) % 4
+			n := f.g.NumNodes()
+			// Random ids, duplicates included on purpose.
+			ids := make([]graph.NodeID, r.Intn(300))
+			for i := range ids {
+				ids[i] = graph.NodeID(r.Intn(n))
+			}
+			want := map[graph.NodeID]int{}
+			for _, v := range ids {
+				want[v]++
+			}
+			local, remote, host := s.Split(ids, g)
+			got := map[graph.NodeID]int{}
+			total := 0
+			add := func(part []graph.NodeID) {
+				for _, v := range part {
+					got[v]++
+					total++
+				}
+			}
+			add(local)
+			add(host)
+			for _, rr := range remote {
+				add(rr)
+			}
+			if total != len(ids) || len(got) != len(want) {
+				return false
+			}
+			for v, c := range want {
+				if got[v] != c {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPromoteDemoteHolder(t *testing.T) {
+	f := build(t, 2)
+	s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, int64(50*f.d.FeatDim*4), ByDegree)
+	var cold graph.NodeID = -1
+	for v := f.offsets[0]; v < f.offsets[1]; v++ {
+		if s.Holder(graph.NodeID(v)) < 0 {
+			cold = graph.NodeID(v)
+			break
+		}
+	}
+	if cold < 0 {
+		t.Fatal("no cold row in fixture")
+	}
+	before := s.CachedRows[0]
+	s.Promote(cold, 0)
+	if s.Holder(cold) != 0 || s.CachedRows[0] != before+1 {
+		t.Fatalf("promote: holder %d rows %d", s.Holder(cold), s.CachedRows[0])
+	}
+	if p, _ := s.Locate(cold, 0); p != LocalGPU {
+		t.Fatal("promoted row not local")
+	}
+	s.Promote(cold, 0) // idempotent
+	if s.CachedRows[0] != before+1 {
+		t.Fatal("re-promotion double-counted")
+	}
+	s.Demote(cold)
+	if s.Holder(cold) >= 0 || s.CachedRows[0] != before {
+		t.Fatalf("demote: holder %d rows %d", s.Holder(cold), s.CachedRows[0])
+	}
+	s.Demote(cold) // demoting an uncached row is a no-op
+	if s.CachedRows[0] != before {
+		t.Fatal("double demotion changed accounting")
+	}
+	if p, _ := s.Locate(cold, 0); p != HostMemory {
+		t.Fatal("demoted row not host")
+	}
+}
+
 func TestZeroBudgetCachesNothing(t *testing.T) {
 	f := build(t, 2)
 	s := BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, 0, ByDegree)

@@ -17,6 +17,9 @@ const (
 	TrafficFeature
 	// TrafficGradient is model-gradient allreduce traffic.
 	TrafficGradient
+	// TrafficCache is feature-cache maintenance traffic: rows migrated into
+	// GPU shards by the adaptive cache rebalancer (internal/cache).
+	TrafficCache
 	// TrafficOther is everything else (seeds, metadata).
 	TrafficOther
 
@@ -31,6 +34,8 @@ func (c TrafficClass) String() string {
 		return "feature"
 	case TrafficGradient:
 		return "gradient"
+	case TrafficCache:
+		return "cache"
 	default:
 		return "other"
 	}

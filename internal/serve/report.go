@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -35,11 +36,25 @@ type Report struct {
 	Latency *metrics.Histogram
 	PerGPU  []*metrics.Histogram
 
-	// Feature-read placement counts across all rounds (rows).
+	// Feature-read placement counts across all rounds (rows): the fleet
+	// totals of Tiers. Kept as flat fields for existing consumers; the tiered
+	// breakdown (per requesting GPU) is in PerGPUTiers.
 	LocalRows, RemoteRows, HostRows int64
+	// Tiers is the fleet-total tiered read accounting; PerGPUTiers the
+	// per-requesting-GPU components it sums from.
+	Tiers       cache.Tiers
+	PerGPUTiers []cache.Tiers
 	// ExpectedHitRate is the popularity-weighted fraction of reads the GPU
-	// caches should serve under this workload (featstore.CachedFraction).
+	// caches should serve under this workload's phase-0 popularity
+	// (featstore.CachedFraction).
 	ExpectedHitRate float64
+
+	// Adaptive-cache accounting (zero under the static policy).
+	CachePolicy    cache.Policy
+	Rebalances     int
+	PromotedRows   int64
+	RebalanceBytes int64
+	RebalanceTime  sim.Time
 
 	// Requests holds every completed request sorted by ID — the per-request
 	// latency trace used by the determinism tests.
@@ -67,6 +82,7 @@ type Recovery struct {
 }
 
 func (s *Server) report(end sim.Time) *Report {
+	cs := s.cacheMgr.Stats()
 	r := &Report{
 		Horizon:         s.cfg.Duration,
 		Makespan:        end,
@@ -77,10 +93,17 @@ func (s *Server) report(end sim.Time) *Report {
 		Rounds:          s.rounds,
 		Latency:         metrics.New(),
 		PerGPU:          s.latency,
-		LocalRows:       s.localRows,
-		RemoteRows:      s.remoteRows,
-		HostRows:        s.hostRows,
+		LocalRows:       cs.Tiers.Local,
+		RemoteRows:      cs.Tiers.Peer,
+		HostRows:        cs.Tiers.Host,
+		Tiers:           cs.Tiers,
+		PerGPUTiers:     cs.PerGPU,
 		ExpectedHitRate: s.ExpectedCacheHitRate(),
+		CachePolicy:     s.cacheMgr.Policy(),
+		Rebalances:      cs.Rebalances,
+		PromotedRows:    cs.Promoted,
+		RebalanceBytes:  cs.MovedBytes,
+		RebalanceTime:   cs.RebalanceTime,
 		Requests:        s.completed,
 	}
 	for _, h := range s.latency {
@@ -142,6 +165,11 @@ func (r *Report) String() string {
 		1e3*r.Latency.Mean(), 1e3*r.Latency.Max())
 	fmt.Fprintf(&b, "feature reads  local %d  nvlink %d  host %d  (gpu-cache hit %.1f%%, expected %.1f%%)",
 		r.LocalRows, r.RemoteRows, r.HostRows, 100*r.CacheHitRate(), 100*r.ExpectedHitRate)
+	if r.CachePolicy != cache.Static {
+		fmt.Fprintf(&b, "\ncache %s  rebalances %d  promoted %d rows  migrated %.2f MB  overhead %.3fms",
+			r.CachePolicy, r.Rebalances, r.PromotedRows,
+			float64(r.RebalanceBytes)/1e6, 1e3*float64(r.RebalanceTime))
+	}
 	if len(r.Recoveries) > 0 {
 		fmt.Fprintf(&b, "\ndegraded  dead gpus %v  rerouted %d  lost %d", r.DeadGPUs, r.Rerouted, r.Lost)
 		for _, rec := range r.Recoveries {

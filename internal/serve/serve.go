@@ -22,6 +22,7 @@ package serve
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/comm"
 	"repro/internal/csp"
 	"repro/internal/fault"
@@ -113,6 +114,20 @@ type Config struct {
 	TopoCacheBudget    int64
 	// CachePolicy selects the hot-node criterion (0 = by degree).
 	CachePolicy int
+	// DynamicCache selects the adaptive cache policy (cache.Static keeps the
+	// offline placement). Non-static policies rebalance each GPU's feature
+	// shard every RebalanceEvery of virtual time, promoting observed-hot rows
+	// and demoting cold ones at constant budget.
+	DynamicCache cache.Policy
+	// RebalanceEvery is the rebalance period (default 25 ms when a dynamic
+	// policy is selected).
+	RebalanceEvery sim.Time
+	// CacheTune tunes the adaptive manager (decay, move cap, degree weight);
+	// zero values take the cache package defaults.
+	CacheTune cache.Config
+	// DriftEvery re-draws the workload's popularity assignment at this virtual
+	// period (0 = static popularity). Drift is what dynamic caching adapts to.
+	DriftEvery sim.Time
 	// StageOverhead is the host-side cost per worker stage per round
 	// (default 0.5 ms; negative disables). Divided by LatencyScale.
 	StageOverhead sim.Time
@@ -166,6 +181,9 @@ func (c Config) defaults() Config {
 	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 2
+	}
+	if c.RebalanceEvery <= 0 {
+		c.RebalanceEvery = 25e-3
 	}
 	return c
 }
@@ -244,6 +262,7 @@ type Server struct {
 	m        *hw.Machine
 	world    *csp.World
 	store    *featstore.Store
+	cacheMgr *cache.Manager
 	coord    *pipeline.Coordinator
 	execComm *comm.Communicator
 	workload *Workload
@@ -273,9 +292,6 @@ type Server struct {
 	crashes       []Recovery
 	completed     []*Request
 	latency       []*metrics.Histogram
-	localRows     int64
-	remoteRows    int64
-	hostRows      int64
 	zeros         []float32
 }
 
@@ -321,6 +337,12 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: feature cache: %w", err)
 		}
 	}
+	mcfg := cfg.CacheTune
+	mcfg.Policy = cfg.DynamicCache
+	s.cacheMgr = cache.New(s.store, d.G, d.Offsets, mcfg)
+	if cfg.Tracer.Enabled() {
+		s.cacheMgr.SetTracer(cfg.Tracer, n) // frontend lane
+	}
 
 	s.coord = pipeline.NewCoordinator(s.m.Eng, n, cfg.UseCCC, 2)
 	s.execComm = comm.New(s.m)
@@ -336,6 +358,9 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 	s.workload = NewWorkload(d, cfg.Skew)
+	if cfg.DriftEvery > 0 {
+		s.workload.EnableDrift(cfg.DriftEvery, rng.Mix(cfg.Seed, 0xD21F7))
+	}
 	if len(cfg.Faults) > 0 {
 		inj, err := fault.NewInjector(s.m, cfg.Faults)
 		if err != nil {
@@ -349,6 +374,7 @@ func NewServer(cfg Config) (*Server, error) {
 		s.world.SetView(s.view)
 		s.execComm.SetView(s.view)
 		s.coord.SetView(s.view)
+		s.cacheMgr.SetView(s.view)
 		inj.OnCrash(func(p *sim.Proc, f fault.Fault) { s.onCrash(p, f.GPU) })
 	}
 	return s, nil
@@ -449,6 +475,16 @@ func (s *Server) Run() (*Report, error) {
 	if s.inj != nil {
 		s.inj.Arm()
 	}
+	if s.cacheMgr.Dynamic() {
+		// Daemon: rebalances happen while request work is in flight, but a
+		// drained fleet does not stay alive just to keep adapting.
+		eng.GoDaemon("cache/rebalance", func(p *sim.Proc) {
+			for {
+				p.Sleep(s.cfg.RebalanceEvery)
+				s.cacheMgr.Rebalance(p, s.m.Fabric)
+			}
+		})
+	}
 	end, err := eng.Run()
 	if err != nil {
 		return nil, err
@@ -494,7 +530,7 @@ func (s *Server) generator(p *sim.Proc) {
 		if p.Now() >= cfg.Duration {
 			break
 		}
-		node := s.workload.Draw(r)
+		node := s.workload.Draw(r, p.Now())
 		g := s.workload.Owner(node)
 		if !s.alive(g) {
 			g = s.view.NextLive(g)
@@ -712,22 +748,21 @@ func (s *Server) executor(p *sim.Proc, g int) {
 		}
 		it := v.(*execItem)
 		var preds []int32
-		// Row counts accumulate per attempt and commit only on success (the
+		// Tier counts accumulate per attempt and commit only on success (the
 		// report counts each served request's rows once); the fabric byte
 		// counters have no such rollback — an aborted round's wire traffic
-		// really crossed the links.
-		var rc rowCounts
+		// really crossed the links. The manager's hotness counters likewise
+		// record every attempt inside Split: the accesses are real.
+		var rc cache.Tiers
 		runRound(p, func() {
 			s.execComm.Begin(g)
-			rc = rowCounts{}
+			rc = cache.Tiers{}
 		}, func() {
 			p.Sleep(s.overhead)
 			feats := s.loadFeatures(p, g, it.mb, &rc)
 			preds = s.forward(p, g, it.mb, feats)
 		})
-		s.localRows += rc.local
-		s.remoteRows += rc.remote
-		s.hostRows += rc.host
+		s.cacheMgr.Account(g, rc)
 		now := p.Now()
 		batch := len(it.rd.reqs[g])
 		for i, req := range it.rd.reqs[g] {
@@ -750,33 +785,17 @@ func (s *Server) executor(p *sim.Proc, g int) {
 	}
 }
 
-// rowCounts tallies one execution attempt's feature-row placements.
-type rowCounts struct {
-	local, remote, host int64
-}
-
 // loadFeatures mirrors the trainer's loader stage: split by placement, cold
 // rows via UVA concurrently with the NVLink hot-row exchange, then assemble.
-// Rows cached on a dead GPU fall back to host memory (UVA) — the shard is
-// unreachable but the master copy in host RAM is not.
-func (s *Server) loadFeatures(p *sim.Proc, g int, mb *sample.MiniBatch, rc *rowCounts) []float32 {
+// The cache manager's Split both records row hotness and re-routes rows
+// cached on a dead GPU to host memory (UVA) — the shard is unreachable but
+// the master copy in host RAM is not.
+func (s *Server) loadFeatures(p *sim.Proc, g int, mb *sample.MiniBatch, rc *cache.Tiers) []float32 {
 	d := s.cfg.Data
 	dev := s.m.GPUs[g]
 	ids := mb.InputNodes()
-	local, remote, host := s.store.Split(ids, g)
-	if s.view != nil {
-		for q := range remote {
-			if len(remote[q]) > 0 && !s.view.Alive(q) {
-				host = append(host, remote[q]...)
-				remote[q] = nil
-			}
-		}
-	}
-	rc.local += int64(len(local))
-	rc.host += int64(len(host))
-	for _, rq := range remote {
-		rc.remote += int64(len(rq))
-	}
+	local, remote, host := s.cacheMgr.Split(ids, g)
+	rc.Add(cache.CountTiers(local, remote, host))
 	n := s.execComm.N
 
 	uvaDone := s.m.Eng.NewEvent()

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/sim"
 	"repro/internal/train"
 )
 
@@ -22,6 +23,16 @@ type Workload struct {
 	// weights[v] is node v's popularity mass (indexed by node id).
 	weights []float64
 	offsets []int64
+
+	// Drifting popularity: every driftEvery of virtual time the rank→node
+	// assignment is re-drawn (the mass profile stays fixed, but which nodes
+	// are hot changes), modelling trending-content churn in production
+	// serving. Phase 0 is the identity mapping, so an un-drifted workload
+	// (driftEvery == 0) is bit-identical to the original.
+	driftEvery sim.Time
+	driftSeed  uint64
+	phase      int
+	phased     []graph.NodeID // current phase's rank→node mapping
 }
 
 // NewWorkload ranks d's nodes by degree and assigns popularity mass
@@ -47,14 +58,53 @@ func NewWorkload(d *train.Data, skew float64) *Workload {
 	return w
 }
 
-// Draw samples one target node from the popularity distribution.
-func (w *Workload) Draw(r *rng.RNG) graph.NodeID {
+// EnableDrift re-draws the rank→node assignment every interval of virtual
+// time, from a stream independent of the arrival process (so drift does not
+// perturb arrival timing). interval <= 0 disables drift.
+func (w *Workload) EnableDrift(interval sim.Time, seed uint64) {
+	w.driftEvery = interval
+	w.driftSeed = seed
+}
+
+// DriftInterval returns the configured drift period (0 = static popularity).
+func (w *Workload) DriftInterval() sim.Time { return w.driftEvery }
+
+// mapping returns the rank→node assignment in effect at virtual time now.
+func (w *Workload) mapping(now sim.Time) []graph.NodeID {
+	if w.driftEvery <= 0 {
+		return w.ranked
+	}
+	phase := int(now / w.driftEvery)
+	if phase == 0 {
+		return w.ranked
+	}
+	if w.phased == nil || phase != w.phase {
+		// Fisher-Yates over a fresh copy, seeded by (driftSeed, phase): the
+		// mapping is a pure function of the phase index, so out-of-order or
+		// repeated queries are consistent.
+		if w.phased == nil {
+			w.phased = make([]graph.NodeID, len(w.ranked))
+		}
+		copy(w.phased, w.ranked)
+		r := rng.New(rng.Mix(w.driftSeed, uint64(phase)))
+		for i := len(w.phased) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			w.phased[i], w.phased[j] = w.phased[j], w.phased[i]
+		}
+		w.phase = phase
+	}
+	return w.phased
+}
+
+// Draw samples one target node from the popularity distribution in effect at
+// virtual time now.
+func (w *Workload) Draw(r *rng.RNG, now sim.Time) graph.NodeID {
 	u := r.Float64() * w.cum[len(w.cum)-1]
 	i := sort.SearchFloat64s(w.cum, u)
 	if i >= len(w.ranked) {
 		i = len(w.ranked) - 1
 	}
-	return w.ranked[i]
+	return w.mapping(now)[i]
 }
 
 // Owner returns the GPU owning node v under the layout partitioning.

@@ -7,6 +7,7 @@ package train
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -141,6 +142,15 @@ type EpochStats struct {
 	SampleWire, FeatureWire, GradWire int64
 	// InterWire is inter-machine NIC traffic (multi-machine runs only).
 	InterWire int64
+	// Tiered feature-read counts for the epoch (rows read from the local
+	// GPU cache, a peer GPU over NVLink, and host memory), recorded by the
+	// adaptive cache manager's tracker (internal/cache).
+	CacheLocal, CachePeer, CacheHost int64
+	// Epoch-boundary cache adaptation: rows promoted into GPU shards, the
+	// migration bytes charged to PCIe, and the virtual time the rebalance
+	// added to the epoch. All zero under the static policy.
+	CachePromoted, RebalanceBytes int64
+	RebalanceTime                 sim.Time
 	// Stage time totals (virtual seconds summed across ranks and steps,
 	// including the host-side stage overhead): how long the epoch spent in
 	// each worker. Under the pipeline these overlap, so their sum exceeds
@@ -204,6 +214,14 @@ type Options struct {
 	TopoCacheBudget int64
 	// CachePolicy selects the hot-node criterion (0 = by degree).
 	CachePolicy int
+	// DynamicCache selects the adaptive feature-cache policy
+	// (internal/cache): non-static policies rebalance each GPU's shard at
+	// epoch boundaries, promoting rows the tracker observed as hot. Ignored
+	// by baselines and by the replicated layout.
+	DynamicCache cache.Policy
+	// CacheTune tunes the adaptive manager (decay, move cap, degree
+	// weight); zero values take the cache package defaults.
+	CacheTune cache.Config
 	// PullData switches CSP to the data-pull paradigm (Figure 11 ablation).
 	PullData bool
 	// UnfusedSampling switches CSP's sample stage to one kernel per task —

@@ -24,7 +24,8 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/cache"
+	"repro/internal/cliopts"
+	"repro/internal/compress"
 	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graphio"
@@ -49,14 +50,11 @@ func main() {
 		queue    = flag.Int("queue", 0, "admission queue depth per GPU (0 = 4x maxbatch)")
 		seed     = flag.Uint64("seed", 1, "run seed")
 		real     = flag.Bool("real", false, "run the real fp32 forward pass and report predictions")
-		cachePol = flag.String("cache", "static", "adaptive cache policy: static, lfu, hybrid")
 		rebEvery = flag.Float64("rebalance-every", 25e-3, "cache rebalance period in virtual seconds")
 		drift    = flag.Float64("drift-every", 0, "re-draw the popularity assignment at this virtual period (0 = static popularity)")
-		budget   = flag.Int64("cache-budget", 0, "per-GPU feature cache budget in bytes (0 = fill free memory)")
 		traceTo  = flag.String("trace", "", "write a Chrome trace of the run to this file")
-		faultSp  = flag.String("faults", "",
-			"fault schedule, e.g. 'crash@gpu2:t=0.2,stall@gpu0:t=0.1+50ms' (crashes switch to degraded serving)")
 	)
+	common := cliopts.Register(flag.CommandLine)
 	flag.Parse()
 
 	var td *train.Data
@@ -84,7 +82,7 @@ func main() {
 		td.GPUMemBytes = std.GPUMemBytes()
 	}
 
-	faults, err := fault.ParseSpec(*faultSp, *gpus)
+	faults, err := common.FaultSchedule(*gpus)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
 		os.Exit(2)
@@ -113,10 +111,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	policy, err := cache.ParsePolicy(*cachePol)
+	policy, err := common.Policy()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
 		os.Exit(2)
+	}
+	featCodec, err := common.FeatCodec(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+		os.Exit(2)
+	}
+	if featCodec != nil {
+		fmt.Printf("compression: feat=%s\n", compress.Name(featCodec))
 	}
 
 	cfg := serve.Config{
@@ -131,10 +137,11 @@ func main() {
 		MaxWait:            sim.Time(*maxWait),
 		QueueDepth:         *queue,
 		UseCCC:             true,
-		FeatureCacheBudget: *budget,
+		FeatureCacheBudget: common.CacheBudget(),
 		DynamicCache:       policy,
 		RebalanceEvery:     sim.Time(*rebEvery),
 		DriftEvery:         sim.Time(*drift),
+		FeatCodec:          featCodec,
 		Faults:             faults,
 	}
 	if *traceTo != "" {

@@ -26,6 +26,8 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/cache"
 	"repro/internal/ckpt"
+	"repro/internal/cliopts"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gen"
@@ -38,28 +40,25 @@ import (
 
 func main() {
 	var (
-		dsName   = flag.String("dataset", "products", "dataset: products, papers, friendster")
-		gpus     = flag.Int("gpus", 4, "simulated GPU count (1-8)")
-		epochs   = flag.Int("epochs", 5, "training epochs")
-		archStr  = flag.String("arch", "sage", "model: sage or gcn")
-		hidden   = flag.Int("hidden", 64, "hidden units (paper uses 256; smaller is faster on the host)")
-		batch    = flag.Int("batch", 512, "batch size")
-		shrink   = flag.Int("shrink", 4, "dataset shrink divisor")
-		sysName  = flag.String("system", "dsp", "system: dsp, dsp-seq, pyg, dgl-cpu, dgl-uva, quiver")
-		cachePol = flag.String("cache", "static",
-			"adaptive feature-cache policy: static, lfu, hybrid (dsp systems; rebalances at epoch boundaries)")
-		budget  = flag.Int64("cache-budget", 0, "per-GPU feature cache budget in bytes (0 = fill free memory)")
+		dsName  = flag.String("dataset", "products", "dataset: products, papers, friendster")
+		gpus    = flag.Int("gpus", 4, "simulated GPU count (1-8)")
+		epochs  = flag.Int("epochs", 5, "training epochs")
+		archStr = flag.String("arch", "sage", "model: sage or gcn")
+		hidden  = flag.Int("hidden", 64, "hidden units (paper uses 256; smaller is faster on the host)")
+		batch   = flag.Int("batch", 512, "batch size")
+		shrink  = flag.Int("shrink", 4, "dataset shrink divisor")
+		sysName = flag.String("system", "dsp", "system: dsp, dsp-seq, pyg, dgl-cpu, dgl-uva, quiver")
 		seed    = flag.Uint64("seed", 1, "run seed")
 		traceTo = flag.String("trace", "", "write a Chrome trace of the run to this file")
 		dataIn  = flag.String("data", "", "load a prepared .dspd dataset (from dspdata) instead of generating")
 		saveTo  = flag.String("save", "", "write the trained model checkpoint to this file")
 		loadFm  = flag.String("load", "", "initialise the model from a checkpoint before training")
-		faultSp = flag.String("faults", "",
-			"fault schedule, e.g. 'crash@gpu2:t=1.5,stall@gpu0:t=0.8+50ms' (runs the fault-tolerant driver)")
-		ckptEv = flag.Int("ckpt-every", 0,
+		ckptEv  = flag.Int("ckpt-every", 0,
 			"checkpoint cadence in steps, 0 = epoch boundaries only (with -faults or alone to measure overhead)")
 		ckptTo = flag.String("ckpt-file", "", "mirror every committed training checkpoint to this file")
 	)
+	common := cliopts.Register(flag.CommandLine)
+	common.RegisterGrad(flag.CommandLine)
 	flag.Parse()
 
 	var td *train.Data
@@ -83,7 +82,7 @@ func main() {
 		td.GPUMemBytes = std.GPUMemBytes()
 	}
 
-	faults, err := fault.ParseSpec(*faultSp, *gpus)
+	faults, err := common.FaultSchedule(*gpus)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
 		os.Exit(2)
@@ -110,12 +109,24 @@ func main() {
 		Seed:        *seed,
 		Faults:      faults,
 	}
-	opts.DynamicCache, err = cache.ParsePolicy(*cachePol)
+	opts.DynamicCache, err = common.Policy()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
 		os.Exit(2)
 	}
-	opts.FeatureCacheBudget = *budget
+	opts.FeatureCacheBudget = common.CacheBudget()
+	if opts.GradCodec, err = common.GradCodec(*seed); err != nil {
+		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+		os.Exit(2)
+	}
+	if opts.FeatCodec, err = common.FeatCodec(*seed); err != nil {
+		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+		os.Exit(2)
+	}
+	if opts.GradCodec != nil || opts.FeatCodec != nil {
+		fmt.Printf("compression: grad=%s feat=%s\n",
+			compress.Name(opts.GradCodec), compress.Name(opts.FeatCodec))
+	}
 
 	var sys train.System
 	switch strings.ToLower(*sysName) {

@@ -1,0 +1,75 @@
+// Package cliopts centralises the CLI flag wiring shared by the dsptrain
+// and dspserve binaries — fault injection, adaptive-cache selection, and
+// communication compression — so the two frontends register identical flags
+// and resolve them through the same validation paths instead of drifting.
+package cliopts
+
+import (
+	"flag"
+
+	"repro/internal/cache"
+	"repro/internal/compress"
+	"repro/internal/fault"
+)
+
+// Common holds the flag values shared by every binary that drives the
+// simulated fleet. Construct it with Register; read the resolved values
+// through the accessor methods after flag.Parse.
+type Common struct {
+	faults       *string
+	cachePolicy  *string
+	cacheBudget  *int64
+	compressFeat *string
+	compressGrad *string
+}
+
+// Register installs the shared flags on fs and returns the bound Common.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	c.faults = fs.String("faults", "",
+		"fault schedule, e.g. 'crash@gpu2:t=0.2,stall@gpu0:t=0.1+50ms'")
+	c.cachePolicy = fs.String("cache", "static",
+		"adaptive feature-cache policy: static, lfu, hybrid")
+	c.cacheBudget = fs.Int64("cache-budget", 0,
+		"per-GPU feature cache budget in bytes (0 = fill free memory)")
+	c.compressFeat = fs.String("compress-feat", "",
+		"feature-transfer codec: none, fp32, fp16, int8, topk[:ratio] (NVLink replies and NIC sends)")
+	return c
+}
+
+// RegisterGrad additionally installs the gradient-compression flag (training
+// binaries only; serving has no gradients).
+func (c *Common) RegisterGrad(fs *flag.FlagSet) {
+	c.compressGrad = fs.String("compress-grad", "",
+		"gradient-allreduce codec: none, fp32, fp16, int8, topk[:ratio] (lossy codecs change the training for real)")
+}
+
+// FaultSchedule parses the -faults spec against the fleet size.
+func (c *Common) FaultSchedule(gpus int) ([]fault.Fault, error) {
+	return fault.ParseSpec(*c.faults, gpus)
+}
+
+// FaultSpec returns the raw -faults string (empty = no faults).
+func (c *Common) FaultSpec() string { return *c.faults }
+
+// Policy resolves the -cache flag.
+func (c *Common) Policy() (cache.Policy, error) {
+	return cache.ParsePolicy(*c.cachePolicy)
+}
+
+// CacheBudget returns the -cache-budget value.
+func (c *Common) CacheBudget() int64 { return *c.cacheBudget }
+
+// FeatCodec resolves the -compress-feat flag; the seed drives stochastic
+// codecs so runs stay reproducible.
+func (c *Common) FeatCodec(seed uint64) (compress.Codec, error) {
+	return compress.Parse(*c.compressFeat, seed)
+}
+
+// GradCodec resolves the -compress-grad flag (RegisterGrad must have run).
+func (c *Common) GradCodec(seed uint64) (compress.Codec, error) {
+	if c.compressGrad == nil {
+		return nil, nil
+	}
+	return compress.Parse(*c.compressGrad, seed)
+}

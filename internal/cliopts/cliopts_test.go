@@ -1,0 +1,108 @@
+package cliopts
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/fault"
+)
+
+func newSet(t *testing.T, grad bool, args ...string) *Common {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs)
+	if grad {
+		c.RegisterGrad(fs)
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return c
+}
+
+func TestDefaults(t *testing.T) {
+	c := newSet(t, true)
+	if faults, err := c.FaultSchedule(4); err != nil || len(faults) != 0 {
+		t.Fatalf("default faults = %v, %v", faults, err)
+	}
+	if pol, err := c.Policy(); err != nil || pol != cache.Static {
+		t.Fatalf("default policy = %v, %v", pol, err)
+	}
+	if c.CacheBudget() != 0 {
+		t.Fatalf("default budget = %d", c.CacheBudget())
+	}
+	for name, f := range map[string]func(uint64) (any, error){
+		"feat": func(s uint64) (any, error) { return c.FeatCodec(s) },
+		"grad": func(s uint64) (any, error) { return c.GradCodec(s) },
+	} {
+		v, err := f(1)
+		if err != nil {
+			t.Fatalf("default %s codec: %v", name, err)
+		}
+		if v != nil {
+			if cd, ok := v.(interface{ Name() string }); ok && cd != nil {
+				// compress.Codec(nil) boxed in any is non-nil only if typed;
+				// Parse("") returns untyped nil, so this is a failure.
+				t.Fatalf("default %s codec = %v, want nil", name, cd)
+			}
+		}
+	}
+}
+
+func TestParsesSharedFlags(t *testing.T) {
+	c := newSet(t, true,
+		"-faults", "crash@gpu1:t=0.5",
+		"-cache", "lfu",
+		"-cache-budget", "1048576",
+		"-compress-feat", "fp16",
+		"-compress-grad", "int8",
+	)
+	faults, err := c.FaultSchedule(4)
+	if err != nil || len(faults) != 1 || faults[0].Kind != fault.Crash || faults[0].GPU != 1 {
+		t.Fatalf("faults = %+v, %v", faults, err)
+	}
+	if pol, _ := c.Policy(); pol != cache.LFUDecay {
+		t.Fatalf("policy = %v", pol)
+	}
+	if c.CacheBudget() != 1<<20 {
+		t.Fatalf("budget = %d", c.CacheBudget())
+	}
+	fc, err := c.FeatCodec(1)
+	if err != nil || fc == nil || fc.Name() != "fp16" {
+		t.Fatalf("feat codec = %v, %v", fc, err)
+	}
+	gc, err := c.GradCodec(1)
+	if err != nil || gc == nil || gc.Name() != "int8" {
+		t.Fatalf("grad codec = %v, %v", gc, err)
+	}
+}
+
+func TestGradCodecWithoutRegisterGrad(t *testing.T) {
+	c := newSet(t, false)
+	gc, err := c.GradCodec(1)
+	if err != nil || gc != nil {
+		t.Fatalf("grad codec without RegisterGrad = %v, %v; want nil, nil", gc, err)
+	}
+}
+
+func TestBadSpecsError(t *testing.T) {
+	c := newSet(t, true,
+		"-faults", "explode@gpu9",
+		"-cache", "mru",
+		"-compress-feat", "zstd",
+		"-compress-grad", "topk:2",
+	)
+	if _, err := c.FaultSchedule(4); err == nil {
+		t.Error("bad fault spec accepted")
+	}
+	if _, err := c.Policy(); err == nil {
+		t.Error("bad cache policy accepted")
+	}
+	if _, err := c.FeatCodec(1); err == nil {
+		t.Error("bad feat codec accepted")
+	}
+	if _, err := c.GradCodec(1); err == nil {
+		t.Error("bad grad codec accepted")
+	}
+}

@@ -6,21 +6,79 @@
 // as the real system creates one NCCL communicator per worker group. Within
 // a communicator all ranks must invoke the same collectives in the same
 // order; ordering ACROSS communicators on a GPU is the province of the
-// centralized communication coordination scheme (internal/pipeline).
+// centralized communication coordination scheme (internal/pipeline), which
+// plugs in through the Gate interface.
+//
+// Communicators are optionally membership-aware: under a fault.View
+// (SetView), barriers release when all LIVE ranks arrive, transfers to dead
+// ranks are skipped, and a death mid-collective aborts every in-flight
+// participant with a fault.Aborted panic so callers can retry under the new
+// view (Begin opens each retryable attempt). This is how degraded-mode
+// serving keeps collectives running across GPU crashes.
 //
 // Collectives move real Go data between ranks (node ids, feature rows,
 // gradients) while charging virtual time for the wire transfers, following
 // the paper's protocol: each rank first notifies peers of the sizes they
 // will receive, then the payload moves via all-to-all over NVLink.
+//
+// Every collective takes an Opts describing the wire format. When
+// Opts.Codec is set (float32 payloads only), the codec determines both the
+// charged wire bytes AND the values the receivers observe — payloads are
+// round-tripped through Encode/Decode, so a lossy codec degrades the
+// training for real rather than only discounting the bill. AllReduceSum
+// under a codec quantises each rank's contribution once and has every rank
+// decode and sum them in rank order, preserving the BSP guarantee that all
+// replicas stay bitwise identical.
 package comm
 
 import (
 	"fmt"
 
+	"repro/internal/compress"
 	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/sim"
 )
+
+// Opts configures the wire format of one collective call.
+type Opts struct {
+	// Class tags the traffic for per-purpose byte accounting.
+	Class hw.TrafficClass
+	// ElemBytes is the raw wire size of one element. Ignored when Codec is
+	// set (the codec prices float32 elements itself).
+	ElemBytes int
+	// Codec, when non-nil, compresses the payload: wire bytes follow
+	// Codec.WireBytes and received values are round-tripped through the
+	// codec. Only valid for float32 payloads; collectives panic otherwise.
+	Codec compress.Codec
+}
+
+// Raw returns Opts for an uncompressed payload of elemBytes-sized elements.
+func Raw(elemBytes int, class hw.TrafficClass) Opts {
+	return Opts{Class: class, ElemBytes: elemBytes}
+}
+
+// Compressed returns Opts for a float32 payload under codec (nil codec
+// means raw 4-byte floats).
+func Compressed(codec compress.Codec, class hw.TrafficClass) Opts {
+	return Opts{Class: class, ElemBytes: 4, Codec: codec}
+}
+
+// wireBytes prices an n-element payload under o.
+func (o Opts) wireBytes(n int) int64 {
+	if o.Codec != nil {
+		return o.Codec.WireBytes(n)
+	}
+	return int64(n) * int64(o.ElemBytes)
+}
+
+// CompressionStats accumulates, per traffic class, the raw float32 bytes a
+// codec-bearing collective would have sent against the bytes it actually
+// charged. Raw == Wire when only identity codecs ran.
+type CompressionStats struct {
+	Raw  int64 // uncompressed payload bytes (4 per float32)
+	Wire int64 // bytes actually charged to the fabric
+}
 
 // Gate is an optional launch arbiter for communication kernels. When set on
 // a communicator, every collective passes through Enter before touching its
@@ -39,6 +97,7 @@ type Communicator struct {
 	barrier *sim.Barrier
 	slots   []any // per-rank posted payload for the in-flight collective
 	gate    Gate
+	comp    map[hw.TrafficClass]*CompressionStats
 
 	// Fault-aware membership (serving degraded mode). When view is set,
 	// collectives synchronise over the live ranks only and an in-flight
@@ -149,7 +208,52 @@ func New(m *hw.Machine) *Communicator {
 		N:       n,
 		barrier: m.Eng.NewBarrier(n),
 		slots:   make([]any, n),
+		comp:    map[hw.TrafficClass]*CompressionStats{},
 	}
+}
+
+// Compression returns the accumulated compressed-vs-raw byte totals per
+// traffic class for collectives that carried a codec.
+func (c *Communicator) Compression() map[hw.TrafficClass]CompressionStats {
+	out := make(map[hw.TrafficClass]CompressionStats, len(c.comp))
+	for k, v := range c.comp {
+		out[k] = *v
+	}
+	return out
+}
+
+// recordCompression accounts elems float32 values sent by rank under o and,
+// when tracing, emits a cumulative compressed-vs-raw counter series.
+func (c *Communicator) recordCompression(rank int, o Opts, elems int) {
+	if o.Codec == nil || elems <= 0 {
+		return
+	}
+	s := c.comp[o.Class]
+	if s == nil {
+		s = &CompressionStats{}
+		c.comp[o.Class] = s
+	}
+	s.Raw += 4 * int64(elems)
+	s.Wire += o.Codec.WireBytes(elems)
+	dev := c.Machine.GPUs[rank]
+	dev.Tracer.Counter("codec "+o.Class.String(), dev.ID,
+		float64(c.Machine.Eng.Now()), map[string]float64{
+			"raw":  float64(s.Raw),
+			"wire": float64(s.Wire),
+		})
+}
+
+// roundtrip applies o's codec to a received float32 segment, panicking if a
+// codec was set on a non-float32 collective.
+func roundtrip[T any](o Opts, seg []T) []T {
+	if o.Codec == nil || len(seg) == 0 {
+		return seg
+	}
+	vals, ok := any(seg).([]float32)
+	if !ok {
+		panic(fmt.Sprintf("comm: codec %q set on non-float32 payload %T", o.Codec.Name(), seg))
+	}
+	return any(compress.Roundtrip(o.Codec, vals)).([]T)
 }
 
 // sizeHeaderBytes is the per-peer size-notification message preceding each
@@ -157,9 +261,10 @@ func New(m *hw.Machine) *Communicator {
 const sizeHeaderBytes = 8
 
 // AllToAll exchanges slices: rank r's out[q] is delivered as the return
-// value's [r] on rank q. elemBytes is the wire size of one element; class
-// tags the traffic for accounting. Must be called by all ranks.
-func AllToAll[T any](c *Communicator, p *sim.Proc, rank int, out [][]T, elemBytes int, class hw.TrafficClass) [][]T {
+// value's [r] on rank q. o describes the wire format; with a codec set,
+// every cross-GPU segment is round-tripped through it (the self segment
+// never touches the wire and stays exact). Must be called by all ranks.
+func AllToAll[T any](c *Communicator, p *sim.Proc, rank int, out [][]T, o Opts) [][]T {
 	if len(out) != c.N {
 		panic(fmt.Sprintf("comm: rank %d posted %d buffers for %d ranks", rank, len(out), c.N))
 	}
@@ -172,13 +277,18 @@ func AllToAll[T any](c *Communicator, p *sim.Proc, rank int, out [][]T, elemByte
 	c.slots[rank] = out
 	c.arrive(p, rank)
 	// Collect (data is valid now; timing is enforced below). Dead ranks
-	// contribute nothing — their in[q] stays nil (empty).
+	// contribute nothing — their in[q] stays nil (empty). Cross-GPU
+	// segments pass through the codec as the receiver would see them.
 	in := make([][]T, c.N)
 	for q := 0; q < c.N; q++ {
 		if !c.alive(q) || c.slots[q] == nil {
 			continue
 		}
-		in[q] = c.slots[q].([][]T)[rank]
+		seg := c.slots[q].([][]T)[rank]
+		if q != rank {
+			seg = roundtrip(o, seg)
+		}
+		in[q] = seg
 	}
 	// Timed wire movement: size headers then payloads, charged to the
 	// sender in deterministic peer order. Nothing is sent to dead ranks.
@@ -189,86 +299,108 @@ func AllToAll[T any](c *Communicator, p *sim.Proc, rank int, out [][]T, elemByte
 			continue
 		}
 		dev.Transfer(p, c.Machine.Fabric, q, sizeHeaderBytes, hw.TrafficOther)
-		if n := int64(len(out[q])) * int64(elemBytes); n > 0 {
-			dev.Transfer(p, c.Machine.Fabric, q, n, class)
+		if n := o.wireBytes(len(out[q])); n > 0 {
+			dev.Transfer(p, c.Machine.Fabric, q, n, o.Class)
 		}
+		c.recordCompression(rank, o, len(out[q]))
 	}
 	c.arrive(p, rank)
 	return in
 }
 
 // AllGather delivers every rank's slice to every rank, indexed by rank.
-func AllGather[T any](c *Communicator, p *sim.Proc, rank int, data []T, elemBytes int, class hw.TrafficClass) [][]T {
+func AllGather[T any](c *Communicator, p *sim.Proc, rank int, data []T, o Opts) [][]T {
 	out := make([][]T, c.N)
 	for q := range out {
 		if q != rank {
 			out[q] = data
 		}
 	}
-	in := AllToAll(c, p, rank, out, elemBytes, class)
+	in := AllToAll(c, p, rank, out, o)
 	in[rank] = data
 	return in
 }
 
-// AllReduceSum sums float32 vectors across ranks in place, charging
-// ring-allreduce wire time (2(n-1) chunk steps around the ring). Every rank
-// computes the same bitwise result (summation in rank order), preserving the
-// BSP guarantee that all model replicas stay identical.
-func (c *Communicator) AllReduceSum(p *sim.Proc, rank int, data []float32, class hw.TrafficClass) {
-	c.AllReduceSumScaled(p, rank, data, class, 1)
+// arPost is one rank's allreduce contribution: the raw vector plus, under a
+// lossy codec, its encoded image (what actually rides the wire).
+type arPost struct {
+	raw []float32
+	enc *compress.Buf
 }
 
-// AllReduceSumScaled is AllReduceSum with the charged wire bytes divided by
-// wireDiv (>= 1). The benchmark harness scales the model-gradient volume by
-// the batch-size ratio of its scaled stand-ins so gradient traffic keeps
-// its paper-relative weight ("gradient communication is usually much
-// cheaper than graph sampling and feature loading").
-func (c *Communicator) AllReduceSumScaled(p *sim.Proc, rank int, data []float32, class hw.TrafficClass, wireDiv float64) {
+// AllReduceSum sums float32 vectors across ranks in place, charging
+// ring-allreduce wire time (2(live-1) chunk steps around the ring). Every
+// rank computes the same bitwise result (summation in rank order),
+// preserving the BSP guarantee that all model replicas stay identical.
+//
+// With a codec in o, each rank's contribution — including the caller's own
+// — is quantised once at the sender and every rank decodes and sums the
+// same encoded images, so quantisation error flows into the model while
+// replicas remain bitwise equal. Wire bytes per ring chunk shrink by the
+// codec's ratio.
+func (c *Communicator) AllReduceSum(p *sim.Proc, rank int, data []float32, o Opts) {
 	if c.N == 1 {
 		return
 	}
-	if wireDiv < 1 {
-		wireDiv = 1
-	}
 	c.enter(p, rank)
 	defer c.exit(rank)
-	c.slots[rank] = data
+	post := &arPost{raw: data}
+	lossy := o.Codec != nil && !compress.Identity(o.Codec)
+	if lossy {
+		post.enc = o.Codec.Encode(data)
+	}
+	c.slots[rank] = post
 	c.arrive(p, rank)
 	// Deterministic, rank-order reduction into a fresh buffer (live ranks
 	// only under a membership view).
 	sum := make([]float32, len(data))
+	var scratch []float32
+	if lossy {
+		scratch = make([]float32, len(data))
+	}
 	live := 0
 	for q := 0; q < c.N; q++ {
 		if !c.alive(q) || c.slots[q] == nil {
 			continue
 		}
 		live++
-		peer := c.slots[q].([]float32)
-		for i, v := range peer {
+		peer := c.slots[q].(*arPost)
+		contrib := peer.raw
+		if peer.enc != nil {
+			o.Codec.Decode(peer.enc, scratch)
+			contrib = scratch
+		}
+		for i, v := range contrib {
 			sum[i] += v
 		}
 	}
-	// Timed ring: each rank sends 2(live-1) chunks of len/live to its live
-	// successor.
+	// Timed ring: each rank sends 2(live-1) chunks of the codec-priced
+	// vector divided over the live ranks, to its live successor.
 	dev := c.Machine.GPUs[rank]
 	next := (rank + 1) % c.N
 	if c.view != nil {
 		next = c.view.NextLive(rank)
 	}
-	chunk := int64(float64(len(data)) * 4 / float64(live) / wireDiv)
+	wire := o.wireBytes(len(data))
+	if o.Codec == nil && o.ElemBytes == 0 {
+		wire = 4 * int64(len(data)) // allreduce payloads are always float32
+	}
+	chunk := wire / int64(live)
 	if chunk < 1 {
 		chunk = 1
 	}
 	for step := 0; step < 2*(live-1); step++ {
-		dev.Transfer(p, c.Machine.Fabric, next, chunk, class)
+		dev.Transfer(p, c.Machine.Fabric, next, chunk, o.Class)
 	}
+	c.recordCompression(rank, o, len(data))
 	c.arrive(p, rank)
 	copy(data, sum)
 	c.arrive(p, rank)
 }
 
-// Broadcast sends root's slice to all ranks (returned; root gets its own).
-func Broadcast[T any](c *Communicator, p *sim.Proc, rank, root int, data []T, elemBytes int, class hw.TrafficClass) []T {
+// Broadcast sends root's slice to all ranks (returned; root gets its own;
+// non-root ranks observe the payload through o's codec, if any).
+func Broadcast[T any](c *Communicator, p *sim.Proc, rank, root int, data []T, o Opts) []T {
 	if c.N == 1 {
 		return data
 	}
@@ -286,8 +418,11 @@ func Broadcast[T any](c *Communicator, p *sim.Proc, rank, root int, data []T, el
 			if !c.alive(q) {
 				continue
 			}
-			dev.Transfer(p, c.Machine.Fabric, q, int64(len(data))*int64(elemBytes), class)
+			dev.Transfer(p, c.Machine.Fabric, q, o.wireBytes(len(data)), o.Class)
+			c.recordCompression(rank, o, len(data))
 		}
+	} else {
+		got = roundtrip(o, got)
 	}
 	c.arrive(p, rank)
 	return got

@@ -25,7 +25,7 @@ func TestAllToAllDeliversCorrectly(t *testing.T) {
 					// rank r sends [r*100+q] to q.
 					out[q] = []int32{int32(r*100 + q)}
 				}
-				got[r] = AllToAll(c, p, r, out, 4, hw.TrafficSample)
+				got[r] = AllToAll(c, p, r, out, Raw(4, hw.TrafficSample))
 			})
 		}
 		if _, err := m.Eng.Run(); err != nil {
@@ -54,7 +54,7 @@ func TestAllToAllTimingScalesWithBytes(t *testing.T) {
 						out[q] = make([]int32, elems)
 					}
 				}
-				AllToAll(c, p, r, out, 4, hw.TrafficFeature)
+				AllToAll(c, p, r, out, Raw(4, hw.TrafficFeature))
 			})
 		}
 		end, err := m.Eng.Run()
@@ -77,7 +77,7 @@ func TestAllToAllAccountsNVLinkBytes(t *testing.T) {
 		m.Eng.Go("rank", func(p *sim.Proc) {
 			out := make([][]int32, 2)
 			out[1-r] = make([]int32, 256)
-			AllToAll(c, p, r, out, 4, hw.TrafficSample)
+			AllToAll(c, p, r, out, Raw(4, hw.TrafficSample))
 		})
 	}
 	if _, err := m.Eng.Run(); err != nil {
@@ -99,7 +99,7 @@ func TestAllReduceSumExact(t *testing.T) {
 		r := r
 		bufs[r] = []float32{float32(r + 1), float32(10 * (r + 1))}
 		m.Eng.Go("rank", func(p *sim.Proc) {
-			c.AllReduceSum(p, r, bufs[r], hw.TrafficGradient)
+			c.AllReduceSum(p, r, bufs[r], Raw(4, hw.TrafficGradient))
 		})
 	}
 	if _, err := m.Eng.Run(); err != nil {
@@ -125,7 +125,7 @@ func TestAllReduceBitwiseIdenticalAcrossRanks(t *testing.T) {
 			bufs[r][i] = float32(r) * 0.1 / float32(i+1)
 		}
 		m.Eng.Go("rank", func(p *sim.Proc) {
-			c.AllReduceSum(p, r, bufs[r], hw.TrafficGradient)
+			c.AllReduceSum(p, r, bufs[r], Raw(4, hw.TrafficGradient))
 		})
 	}
 	if _, err := m.Eng.Run(); err != nil {
@@ -147,7 +147,7 @@ func TestAllGather(t *testing.T) {
 	for r := 0; r < n; r++ {
 		r := r
 		m.Eng.Go("rank", func(p *sim.Proc) {
-			got[r] = AllGather(c, p, r, []int64{int64(r)}, 8, hw.TrafficOther)
+			got[r] = AllGather(c, p, r, []int64{int64(r)}, Raw(8, hw.TrafficOther))
 		})
 	}
 	if _, err := m.Eng.Run(); err != nil {
@@ -173,7 +173,7 @@ func TestBroadcast(t *testing.T) {
 			if r == 2 {
 				data = []float32{1, 2, 3}
 			}
-			got[r] = Broadcast(c, p, r, 2, data, 4, hw.TrafficOther)
+			got[r] = Broadcast(c, p, r, 2, data, Raw(4, hw.TrafficOther))
 		})
 	}
 	if _, err := m.Eng.Run(); err != nil {
@@ -196,7 +196,7 @@ func TestSequentialCollectivesOnOneCommunicator(t *testing.T) {
 		m.Eng.Go("rank", func(p *sim.Proc) {
 			for round := 0; round < 5; round++ {
 				buf := []float32{float32(r + round)}
-				c.AllReduceSum(p, r, buf, hw.TrafficGradient)
+				c.AllReduceSum(p, r, buf, Raw(4, hw.TrafficGradient))
 				results[r] = append(results[r], buf[0])
 			}
 		})
@@ -219,12 +219,12 @@ func TestSingleGPUCollectivesAreLocal(t *testing.T) {
 	var reduced []float32
 	m.Eng.Go("rank", func(p *sim.Proc) {
 		out := [][]int32{{42}}
-		in := AllToAll(c, p, 0, out, 4, hw.TrafficSample)
+		in := AllToAll(c, p, 0, out, Raw(4, hw.TrafficSample))
 		if in[0][0] != 42 {
 			t.Error("self all-to-all broken")
 		}
 		reduced = []float32{7}
-		c.AllReduceSum(p, 0, reduced, hw.TrafficGradient)
+		c.AllReduceSum(p, 0, reduced, Raw(4, hw.TrafficGradient))
 	})
 	end, err := m.Eng.Run()
 	if err != nil {

@@ -291,7 +291,7 @@ func (s *DSP) loadStageWith(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *com
 
 	// Remote hot rows: request ids, owners gather, rows come back.
 	if n > 1 {
-		reqIn := comm.AllToAll(lc, p, rank, remote, 4, hw.TrafficFeature)
+		reqIn := comm.AllToAll(lc, p, rank, remote, comm.Raw(4, hw.TrafficFeature))
 		var served int64
 		for q := 0; q < n; q++ {
 			served += int64(len(reqIn[q]))
@@ -303,7 +303,7 @@ func (s *DSP) loadStageWith(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *com
 		for q := 0; q < n; q++ {
 			replies[q] = s.zeroRows(len(reqIn[q]))
 		}
-		comm.AllToAll(lc, p, rank, replies, 4, hw.TrafficFeature)
+		comm.AllToAll(lc, p, rank, replies, comm.Compressed(s.Opts.FeatCodec, hw.TrafficFeature))
 	}
 
 	uvaDone.Wait(p)

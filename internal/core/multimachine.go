@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/compress"
 	"repro/internal/csp"
 	"repro/internal/featstore"
 	"repro/internal/graph"
@@ -219,11 +220,14 @@ func (s *MultiDSP) loadStage(p *sim.Proc, machine, rank int, mb *sample.MiniBatc
 				if cnt == 0 || o == machine {
 					continue
 				}
-				// Request ids out, owner CPU gathers, rows come back, then
-				// a staged DMA into the GPU.
+				// Request ids out, owner CPU gathers, rows come back (under
+				// the feature codec when one is set — the NIC is the
+				// narrowest link, so compression pays off most here), then
+				// a staged DMA of the decoded rows into the GPU.
 				s.cluster.Net.Send(cp, machine, o, cnt*4, hw.TrafficFeature)
 				s.cluster.Machines[o].Host.Gather(cp, cnt*int64(d.RowBytes()), 8)
-				s.cluster.Net.Send(cp, o, machine, cnt*int64(d.RowBytes()), hw.TrafficFeature)
+				s.cluster.Net.Send(cp, o, machine,
+					compress.WireBytes(s.Opts.FeatCodec, int(cnt)*d.FeatDim), hw.TrafficFeature)
 				mach.Fabric.HostDMA(cp, rank, cnt*int64(d.RowBytes()), hw.TrafficFeature)
 			}
 			netDone.Trigger()
@@ -236,7 +240,7 @@ func (s *MultiDSP) loadStage(p *sim.Proc, machine, rank int, mb *sample.MiniBatc
 		dev.RunKernel(p, hw.KernelGather, int64(len(local))*int64(d.RowBytes()))
 	}
 	if n > 1 {
-		reqIn := comm.AllToAll(s.loaders[machine], p, rank, remote, 4, hw.TrafficFeature)
+		reqIn := comm.AllToAll(s.loaders[machine], p, rank, remote, comm.Raw(4, hw.TrafficFeature))
 		var served int64
 		for q := 0; q < n; q++ {
 			served += int64(len(reqIn[q]))
@@ -248,7 +252,7 @@ func (s *MultiDSP) loadStage(p *sim.Proc, machine, rank int, mb *sample.MiniBatc
 		for q := 0; q < n; q++ {
 			replies[q] = s.zeroRows(len(reqIn[q]))
 		}
-		comm.AllToAll(s.loaders[machine], p, rank, replies, 4, hw.TrafficFeature)
+		comm.AllToAll(s.loaders[machine], p, rank, replies, comm.Compressed(s.Opts.FeatCodec, hw.TrafficFeature))
 	}
 	uvaDone.Wait(p)
 	netDone.Wait(p)
@@ -266,10 +270,6 @@ func (s *MultiDSP) trainStage(p *sim.Proc, machine, rank int, l loaded, st *trai
 	dev := mach.GPUs[rank]
 	mb := l.mb
 	grad := s.grads[machine][rank]
-	wireDiv := s.Opts.GradWireScale
-	if wireDiv < 1 {
-		wireDiv = 1
-	}
 	if s.Opts.RealCompute {
 		m := s.models[machine][rank]
 		m.ZeroGrads()
@@ -287,16 +287,24 @@ func (s *MultiDSP) trainStage(p *sim.Proc, machine, rank int, l loaded, st *trai
 			dev.RunKernel(p, hw.KernelCompute, nn.NominalFlops(s.Opts.Model, mb))
 		}
 	}
-	// Intra-machine allreduce over NVLink.
-	s.trainerComms[machine].AllReduceSumScaled(p, rank, grad, hw.TrafficGradient, wireDiv)
+	// Intra-machine allreduce over NVLink (codec-aware: the machine sum
+	// already carries the gradient codec's quantisation error).
+	s.trainerComms[machine].AllReduceSum(p, rank, grad, comm.Compressed(s.Opts.GradCodec, hw.TrafficGradient))
 	// Inter-machine ring between machine leaders (rank 0), then the global
 	// sum is re-established on every replica. The rendezvous is a full
-	// cluster barrier: trainer steps are aligned across machines.
+	// cluster barrier: trainer steps are aligned across machines. Each
+	// leader posts its machine sum as the remote machines would decode it
+	// (codec round-trip), so the cross-machine reduction is lossy exactly
+	// once per hop and every replica still sums identical images.
 	if s.NumMachines > 1 {
 		if rank == 0 {
-			s.interSlots[machine] = append(s.interSlots[machine][:0], grad...)
+			posted := compress.Roundtrip(s.Opts.GradCodec, grad)
+			s.interSlots[machine] = append(s.interSlots[machine][:0], posted...)
 			next := (machine + 1) % s.NumMachines
-			bytes := int64(float64(len(grad)) * 4 / float64(s.NumMachines) / wireDiv)
+			bytes := compress.WireBytes(s.Opts.GradCodec, len(grad)) / int64(s.NumMachines)
+			if bytes < 1 {
+				bytes = 1
+			}
 			for step := 0; step < 2*(s.NumMachines-1); step++ {
 				s.cluster.Net.Send(p, machine, next, bytes, hw.TrafficGradient)
 			}

@@ -217,7 +217,7 @@ func (w *World) SampleBatchShared(p *sim.Proc, rank int, seeds []graph.NodeID, c
 
 func (w *World) sampleBatch(p *sim.Proc, rank int, seeds []graph.NodeID, cfg sample.Config, batchSeed uint64, fused bool) *sample.MiniBatch {
 	// Exchange batch seeds so owners can seed draws for any requester.
-	seedsAll := comm.AllGather(w.Comm, p, rank, []uint64{batchSeed}, 8, hw.TrafficOther)
+	seedsAll := comm.AllGather(w.Comm, p, rank, []uint64{batchSeed}, comm.Raw(8, hw.TrafficOther))
 	peerSeed := make([]uint64, w.Comm.N)
 	for q := range peerSeed {
 		peerSeed[q] = seedsAll[q][0]
@@ -296,7 +296,7 @@ func (w *World) fetchMasses(p *sim.Proc, rank int, dst []graph.NodeID) []massInf
 		where[i] = [2]int32{int32(o), int32(len(outIDs[o]))}
 		outIDs[o] = append(outIDs[o], v)
 	}
-	inIDs := comm.AllToAll(w.Comm, p, rank, outIDs, idBytes, hw.TrafficSample)
+	inIDs := comm.AllToAll(w.Comm, p, rank, outIDs, comm.Raw(idBytes, hw.TrafficSample))
 	// Owner side: compute masses with a small kernel. Nodes of a dead GPU's
 	// patch are looked up in the host master copy (one UVA item each).
 	replies := make([][]massInfo, n)
@@ -323,7 +323,7 @@ func (w *World) fetchMasses(p *sim.Proc, rank int, dst []graph.NodeID) []massInf
 			replies[q][i] = massInfo{Mass: ps.Adj.WeightSum(lv), Deg: int32(ps.Adj.Degree(lv))}
 		}
 	}
-	back := comm.AllToAll(w.Comm, p, rank, replies, massInfoBytes, hw.TrafficSample)
+	back := comm.AllToAll(w.Comm, p, rank, replies, comm.Raw(massInfoBytes, hw.TrafficSample))
 	info := make([]massInfo, len(dst))
 	for i := range dst {
 		o, j := where[i][0], where[i][1]
@@ -351,7 +351,7 @@ func (w *World) sampleLayer(p *sim.Proc, rank int, dst []graph.NodeID, counts []
 		where[i] = [2]int32{int32(o), int32(len(outTasks[o]))}
 		outTasks[o] = append(outTasks[o], task{Node: v, Count: counts[i]})
 	}
-	inTasks := comm.AllToAll(w.Comm, p, rank, outTasks, taskBytes, hw.TrafficSample)
+	inTasks := comm.AllToAll(w.Comm, p, rank, outTasks, comm.Raw(taskBytes, hw.TrafficSample))
 
 	// --- sample: one fused kernel over every received task ------------
 	replyCounts := make([][]int32, n)
@@ -398,8 +398,8 @@ func (w *World) sampleLayer(p *sim.Proc, rank int, dst []graph.NodeID, counts []
 	}
 
 	// --- reshuffle: results travel back to requesters ------------------
-	backCounts := comm.AllToAll(w.Comm, p, rank, replyCounts, 4, hw.TrafficSample)
-	backSamples := comm.AllToAll(w.Comm, p, rank, replySamples, idBytes, hw.TrafficSample)
+	backCounts := comm.AllToAll(w.Comm, p, rank, replyCounts, comm.Raw(4, hw.TrafficSample))
+	backSamples := comm.AllToAll(w.Comm, p, rank, replySamples, comm.Raw(idBytes, hw.TrafficSample))
 
 	// --- assembly on the requester -------------------------------------
 	// Per-owner cursors into the concatenated sample buffers.

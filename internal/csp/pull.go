@@ -87,7 +87,7 @@ func (w *World) pullAdjacency(p *sim.Proc, rank int, dst []graph.NodeID, biased 
 		where[i] = [2]int32{int32(o), int32(len(outIDs[o]))}
 		outIDs[o] = append(outIDs[o], v)
 	}
-	inIDs := comm.AllToAll(w.Comm, p, rank, outIDs, idBytes, hw.TrafficSample)
+	inIDs := comm.AllToAll(w.Comm, p, rank, outIDs, comm.Raw(idBytes, hw.TrafficSample))
 	// Owner side: serve adjacency lists (a gather over the patch CSR).
 	ps := w.Patches[rank]
 	replyCounts := make([][]int32, n)
@@ -109,11 +109,11 @@ func (w *World) pullAdjacency(p *sim.Proc, rank int, dst []graph.NodeID, biased 
 	if served > 0 {
 		w.M.GPUs[rank].RunKernel(p, hw.KernelGather, served*4)
 	}
-	backCounts := comm.AllToAll(w.Comm, p, rank, replyCounts, 4, hw.TrafficSample)
-	backAdj := comm.AllToAll(w.Comm, p, rank, replyAdj, idBytes, hw.TrafficSample)
+	backCounts := comm.AllToAll(w.Comm, p, rank, replyCounts, comm.Raw(4, hw.TrafficSample))
+	backAdj := comm.AllToAll(w.Comm, p, rank, replyAdj, comm.Raw(idBytes, hw.TrafficSample))
 	var backW [][]float32
 	if biased {
-		backW = comm.AllToAll(w.Comm, p, rank, replyW, 4, hw.TrafficSample)
+		backW = comm.AllToAll(w.Comm, p, rank, replyW, comm.Raw(4, hw.TrafficSample))
 	}
 	// Reassemble per-dst views.
 	starts := make([][]int32, n)

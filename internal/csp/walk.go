@@ -37,7 +37,7 @@ const walkResultBytes = 12
 // RandomWalk together.
 func (w *World) RandomWalk(p *sim.Proc, rank int, starts []graph.NodeID, length int, batchSeed uint64) [][]graph.NodeID {
 	n := w.Comm.N
-	seedsAll := comm.AllGather(w.Comm, p, rank, []uint64{batchSeed}, 8, hw.TrafficOther)
+	seedsAll := comm.AllGather(w.Comm, p, rank, []uint64{batchSeed}, comm.Raw(8, hw.TrafficOther))
 	peerSeed := make([]uint64, n)
 	for q := range peerSeed {
 		peerSeed[q] = seedsAll[q][0]
@@ -63,7 +63,7 @@ func (w *World) RandomWalk(p *sim.Proc, rank int, starts []graph.NodeID, length 
 			o := w.Owner(t.Cur)
 			out[o] = append(out[o], t)
 		}
-		in := comm.AllToAll(w.Comm, p, rank, out, walkTaskBytes, hw.TrafficSample)
+		in := comm.AllToAll(w.Comm, p, rank, out, comm.Raw(walkTaskBytes, hw.TrafficSample))
 		// Sample stage: one fused fan-out-1 kernel over received tasks.
 		var work int64
 		for q := 0; q < n; q++ {
@@ -92,7 +92,7 @@ func (w *World) RandomWalk(p *sim.Proc, rank int, starts []graph.NodeID, length 
 		}
 		// Hop results stream back to the origins (tiny messages; this
 		// replaces the reshuffle stage).
-		back := comm.AllToAll(w.Comm, p, rank, results, walkResultBytes, hw.TrafficSample)
+		back := comm.AllToAll(w.Comm, p, rank, results, comm.Raw(walkResultBytes, hw.TrafficSample))
 		for q := 0; q < n; q++ {
 			for _, r := range back[q] {
 				paths[r.WalkID] = append(paths[r.WalkID], r.Node)

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/comm"
+	"repro/internal/compress"
 	"repro/internal/csp"
 	"repro/internal/fault"
 	"repro/internal/featstore"
@@ -133,6 +134,9 @@ type Config struct {
 	StageOverhead sim.Time
 	// LatencyScale divides per-message link latencies (benchmark scaling).
 	LatencyScale float64
+	// FeatCodec compresses the NVLink feature-reply all-to-all between GPUs
+	// (nil = raw fp32 rows). UVA host reads are zero-copy and uncompressed.
+	FeatCodec compress.Codec
 
 	// Tracer, when set, records per-request spans, round spans, queue-depth
 	// counters and shed markers.
@@ -811,7 +815,7 @@ func (s *Server) loadFeatures(p *sim.Proc, g int, mb *sample.MiniBatch, rc *cach
 		dev.RunKernel(p, hw.KernelGather, int64(len(local))*int64(d.RowBytes()))
 	}
 	if n > 1 {
-		reqIn := comm.AllToAll(s.execComm, p, g, remote, 4, hw.TrafficFeature)
+		reqIn := comm.AllToAll(s.execComm, p, g, remote, comm.Raw(4, hw.TrafficFeature))
 		var served int64
 		for q := 0; q < n; q++ {
 			served += int64(len(reqIn[q]))
@@ -823,7 +827,7 @@ func (s *Server) loadFeatures(p *sim.Proc, g int, mb *sample.MiniBatch, rc *cach
 		for q := 0; q < n; q++ {
 			replies[q] = s.zeroRows(len(reqIn[q]))
 		}
-		comm.AllToAll(s.execComm, p, g, replies, 4, hw.TrafficFeature)
+		comm.AllToAll(s.execComm, p, g, replies, comm.Compressed(s.cfg.FeatCodec, hw.TrafficFeature))
 	}
 	uvaDone.Wait(p)
 	dev.RunKernel(p, hw.KernelGather, int64(len(ids))*int64(d.RowBytes()))

@@ -208,7 +208,7 @@ func (t *Trainer) Step(p *sim.Proc, dev *hw.Device, rank int, mb *sample.MiniBat
 			st.Seen += len(mb.Seeds)
 		}
 		m.GradVector(t.Grad[rank])
-		t.Comm.AllReduceSumScaled(p, rank, t.Grad[rank], hw.TrafficGradient, t.wireDiv())
+		t.Comm.AllReduceSum(p, rank, t.Grad[rank], comm.Compressed(t.Opts.GradCodec, hw.TrafficGradient))
 		inv := float32(1.0) / float32(t.Comm.N)
 		for i := range t.Grad[rank] {
 			t.Grad[rank][i] *= inv
@@ -222,12 +222,5 @@ func (t *Trainer) Step(p *sim.Proc, dev *hw.Device, rank int, mb *sample.MiniBat
 		dev.RunKernel(p, hw.KernelGather, nn.NominalAggBytes(t.Opts.Model, mb))
 		dev.RunKernel(p, hw.KernelCompute, nn.NominalFlops(t.Opts.Model, mb))
 	}
-	t.Comm.AllReduceSumScaled(p, rank, t.Grad[rank], hw.TrafficGradient, t.wireDiv())
-}
-
-func (t *Trainer) wireDiv() float64 {
-	if t.Opts.GradWireScale > 1 {
-		return t.Opts.GradWireScale
-	}
-	return 1
+	t.Comm.AllReduceSum(p, rank, t.Grad[rank], comm.Compressed(t.Opts.GradCodec, hw.TrafficGradient))
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/compress"
 	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -233,9 +234,14 @@ type Options struct {
 	// LatencyScale divides per-message link latencies (the benchmark
 	// harness matches it to the batch-count scaling; 0 = 1).
 	LatencyScale float64
-	// GradWireScale divides the gradient-allreduce wire volume (the
-	// harness matches it to the batch-size scaling; 0 = 1).
-	GradWireScale float64
+	// GradCodec compresses the gradient allreduce (nil = raw fp32). The
+	// codec shapes both wire bytes and the reduced values — quantisation
+	// error flows into the model — while replicas stay bitwise identical.
+	GradCodec compress.Codec
+	// FeatCodec compresses peer-to-peer feature transfers: the NVLink
+	// all-to-all replies of the load stage and the inter-machine NIC sends
+	// (nil = raw fp32). UVA host reads are zero-copy and never compressed.
+	FeatCodec compress.Codec
 	// StageOverhead is the host-side framework cost per worker stage per
 	// batch (Python/driver bookkeeping; the GPU is idle during it). It is
 	// divided by LatencyScale like other per-batch fixed costs. 0 selects

@@ -26,6 +26,7 @@ func main() {
 		shrink  = flag.Int("shrink", 1, "dataset shrink divisor (1 = benchmark scale)")
 		warmup  = flag.Int("warmup", 1, "warm-up epochs per configuration")
 		measure = flag.Int("measure", 2, "measured epochs per configuration")
+		report  = flag.String("report", "", "run the canonical perf workload and write its run report JSON here")
 	)
 	flag.Parse()
 
@@ -35,11 +36,26 @@ func main() {
 		}
 		return
 	}
+	cfg := bench.RunConfig{Shrink: *shrink, Warmup: *warmup, Measure: *measure}
+	if *report != "" {
+		r, err := bench.PerfReport(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspbench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		if err := r.WriteFile(*report); err != nil {
+			fmt.Fprintf(os.Stderr, "dspbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote perf run report to %s\n", *report)
+		if *exp == "" {
+			return
+		}
+	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "dspbench: -exp required (use -list to enumerate)")
 		os.Exit(2)
 	}
-	cfg := bench.RunConfig{Shrink: *shrink, Warmup: *warmup, Measure: *measure}
 	names := []string{*exp}
 	if *exp == "all" {
 		names = bench.ExperimentNames()

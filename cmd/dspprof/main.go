@@ -1,0 +1,308 @@
+// Command dspprof analyses DSP runs: Chrome traces (from -trace) and run
+// reports (from -report) feed the same pipeline profiler, which answers
+// where the virtual time went — per-lane utilisation, queue/CCC stall
+// attribution, the critical path, and comm/compute overlap — and A/B-diffs
+// two reports as a perf-regression gate.
+//
+// Usage:
+//
+//	dspprof summary run.json            # trace or run report
+//	dspprof critical-path trace.json    # what bounded the wall time
+//	dspprof top trace.json -n 10        # hottest spans by self time
+//	dspprof diff base.json cand.json -threshold 0.15   # exit 1 on regression
+//	dspprof validate report.json        # schema check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/prof"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd := os.Args[1]; cmd {
+	case "summary":
+		err = cmdSummary(os.Args[2:])
+	case "critical-path":
+		err = cmdCriticalPath(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "dspprof: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspprof: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dspprof summary <file>                      profile overview (trace or run report)
+  dspprof critical-path <file> [-n N]         critical-path segments and decomposition
+  dspprof top <file> [-n N]                   hottest spans by self time
+  dspprof diff <base> <candidate> [-threshold T]  compare reports; exit 1 on regression
+  dspprof validate <file>                     check a run report against the schema`)
+}
+
+// load reads a file and returns its profile plus, for run reports, the
+// report itself (nil for raw traces). Traces are analysed on the spot.
+func load(path string) (*prof.Profile, *prof.RunReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if prof.IsReportJSON(data) {
+		r, err := prof.ParseReport(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return r.Profile, r, nil
+	}
+	t, err := prof.ParseTrace(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prof.Analyze(t), nil, nil
+}
+
+// parseMixed parses args allowing flags and positional arguments in any
+// order (stdlib flag stops at the first positional), returning the
+// positionals.
+func parseMixed(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		rest := fs.Args()
+		if len(rest) == 0 {
+			return pos, nil
+		}
+		pos = append(pos, rest[0])
+		args = rest[1:]
+	}
+}
+
+func one(args []string, fs *flag.FlagSet) (string, error) {
+	pos, err := parseMixed(fs, args)
+	if err != nil {
+		return "", err
+	}
+	if len(pos) != 1 {
+		return "", fmt.Errorf("expected exactly one input file")
+	}
+	return pos[0], nil
+}
+
+func cmdSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	path, err := one(args, fs)
+	if err != nil {
+		return err
+	}
+	p, r, err := load(path)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		fmt.Printf("%s run: %s on %s, %d GPUs, seed %d\n", r.Command, r.System, r.Dataset, r.GPUs, r.Seed)
+		fmt.Printf("wall time %.6gs\n", r.WallTime)
+		if len(r.Stages) > 0 {
+			keys := sortedKeys(r.Stages)
+			fmt.Print("stage time ")
+			for _, k := range keys {
+				fmt.Printf(" %s %.4gs", k, r.Stages[k])
+			}
+			fmt.Println()
+		}
+		if r.Latency != nil {
+			fmt.Printf("latency p50 %.4gms  p95 %.4gms  p99 %.4gms (n=%d)\n",
+				1e3*r.Latency.P50, 1e3*r.Latency.P95, 1e3*r.Latency.P99, r.Latency.Count)
+		}
+		if r.Cache != nil {
+			fmt.Printf("cache hit %.1f%% (local %d, peer %d, host %d)\n",
+				100*r.Cache.HitRate, r.Cache.Local, r.Cache.Peer, r.Cache.Host)
+		}
+		if r.Serving != nil {
+			fmt.Printf("serving: throughput %.0f req/s  shed %.1f%%  rounds %d\n",
+				r.Serving.Throughput, 100*r.Serving.ShedRate, r.Serving.Rounds)
+		}
+		if r.Faults != nil {
+			fmt.Printf("faults: %d recoveries, mean MTTR %.4gms\n",
+				len(r.Faults.Recoveries), 1e3*r.Faults.MeanMTTR)
+		}
+	}
+	if p == nil {
+		if r != nil {
+			fmt.Println("(no profile section — rerun with -trace or -report)")
+			return nil
+		}
+		return fmt.Errorf("no profile available")
+	}
+	fmt.Printf("profile window [%.6g, %.6g]s\n", p.Window.Start, p.Window.End)
+	fmt.Printf("pipeline overlap %.1f%%  comm/compute overlap %.1f%%\n",
+		100*p.PipelineOverlap, 100*p.CommComputeOverlap)
+	fmt.Printf("stalls: queue %.4gs  ccc %.4gs  (%d events)\n",
+		p.Stalls.QueueWait, p.Stalls.CCCWait, p.Stalls.Count)
+	if len(p.Lanes) > 0 {
+		fmt.Printf("%-10s %-16s %10s %10s %7s %8s\n", "gpu", "lane", "busy(s)", "stall(s)", "util", "spans")
+		for _, l := range p.Lanes {
+			fmt.Printf("%-10s %-16s %10.4g %10.4g %6.1f%% %8d\n",
+				l.GPU, l.Lane, l.Busy, l.Stall, 100*l.Util, l.Count)
+		}
+	}
+	return nil
+}
+
+func cmdCriticalPath(args []string) error {
+	fs := flag.NewFlagSet("critical-path", flag.ContinueOnError)
+	n := fs.Int("n", 30, "max segments to print (0 = all)")
+	path, err := one(args, fs)
+	if err != nil {
+		return err
+	}
+	p, _, err := load(path)
+	if err != nil {
+		return err
+	}
+	if p == nil {
+		return fmt.Errorf("no profile section in %s", path)
+	}
+	fmt.Printf("critical path: %d segments over [%.6g, %.6g]s\n",
+		len(p.CriticalPath), p.Window.Start, p.Window.End)
+	if len(p.CriticalPathByCat) > 0 {
+		fmt.Print("by category:")
+		for _, k := range sortedKeys(p.CriticalPathByCat) {
+			fmt.Printf("  %s %.4gs", k, p.CriticalPathByCat[k])
+		}
+		fmt.Println()
+	}
+	if len(p.CriticalPathByLane) > 0 {
+		type kv struct {
+			k string
+			v float64
+		}
+		lanes := make([]kv, 0, len(p.CriticalPathByLane))
+		for k, v := range p.CriticalPathByLane {
+			lanes = append(lanes, kv{k, v})
+		}
+		sort.Slice(lanes, func(i, j int) bool {
+			if lanes[i].v != lanes[j].v {
+				return lanes[i].v > lanes[j].v
+			}
+			return lanes[i].k < lanes[j].k
+		})
+		fmt.Println("by lane:")
+		for _, l := range lanes {
+			fmt.Printf("  %-28s %.4gs\n", l.k, l.v)
+		}
+	}
+	segs := p.CriticalPath
+	if *n > 0 && len(segs) > *n {
+		fmt.Printf("segments (first %d of %d):\n", *n, len(segs))
+		segs = segs[:*n]
+	} else {
+		fmt.Println("segments:")
+	}
+	for _, s := range segs {
+		where := s.Cat
+		if s.Cat != "idle" {
+			where = s.GPU + "/" + s.Lane
+		}
+		fmt.Printf("  [%.6g, %.6g] %-10.4g %-28s %s\n", s.Start, s.End, s.End-s.Start, where, s.Name)
+	}
+	return nil
+}
+
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	n := fs.Int("n", 20, "rows to print")
+	path, err := one(args, fs)
+	if err != nil {
+		return err
+	}
+	p, _, err := load(path)
+	if err != nil {
+		return err
+	}
+	if p == nil {
+		return fmt.Errorf("no profile section in %s", path)
+	}
+	rows := p.TopSpans
+	if *n > 0 && len(rows) > *n {
+		rows = rows[:*n]
+	}
+	fmt.Printf("%-32s %-8s %8s %12s %12s\n", "name", "cat", "count", "total(s)", "self(s)")
+	for _, a := range rows {
+		fmt.Printf("%-32s %-8s %8d %12.4g %12.4g\n", a.Name, a.Cat, a.Count, a.Total, a.Self)
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.15, "tolerated relative worsening before a metric counts as a regression")
+	pos, err := parseMixed(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 2 {
+		return fmt.Errorf("diff needs exactly two run-report files")
+	}
+	a, err := prof.ReadReportFile(pos[0])
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	b, err := prof.ReadReportFile(pos[1])
+	if err != nil {
+		return fmt.Errorf("candidate: %w", err)
+	}
+	d := prof.Diff(a, b, *threshold)
+	d.WriteText(os.Stdout)
+	if d.Regressions > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	path, err := one(args, fs)
+	if err != nil {
+		return err
+	}
+	r, err := prof.ReadReportFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid %s report (%s on %s, wall time %.6gs)\n",
+		path, r.Schema, r.Command, r.Dataset, r.WallTime)
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -144,7 +144,9 @@ func main() {
 		FeatCodec:          featCodec,
 		Faults:             faults,
 	}
-	if *traceTo != "" {
+	// -report profiles the run from trace events, so it records an
+	// in-memory trace even when -trace was not requested.
+	if *traceTo != "" || common.ReportPath() != "" {
 		cfg.Tracer = trace.New()
 	}
 
@@ -156,6 +158,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(rep)
+
+	if err := common.WriteReport(rep.RunReport(serve.ReportMeta{
+		Dataset: td.Name, GPUs: *gpus, Seed: *seed,
+		Shrink: reportShrink(*dataIn, *shrink), Tracer: cfg.Tracer,
+	})); err != nil {
+		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
@@ -173,4 +183,13 @@ func main() {
 		}
 		fmt.Printf("trace written to %s (%d events)\n", *traceTo, cfg.Tracer.Len())
 	}
+}
+
+// reportShrink is the shrink divisor recorded in the run report: the flag
+// value for generated datasets, 0 when loading a prepared file (unknown).
+func reportShrink(dataIn string, shrink int) int {
+	if dataIn != "" {
+		return 0
+	}
+	return shrink
 }

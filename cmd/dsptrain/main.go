@@ -27,11 +27,13 @@ import (
 	"repro/internal/cache"
 	"repro/internal/ckpt"
 	"repro/internal/cliopts"
+	"repro/internal/comm"
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graphio"
+	"repro/internal/hw"
 	"repro/internal/nn"
 	"repro/internal/sample"
 	"repro/internal/trace"
@@ -152,8 +154,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	// -report profiles the run from trace events, so it records an
+	// in-memory trace even when -trace was not requested.
 	var tracer *trace.Tracer
-	if *traceTo != "" {
+	if *traceTo != "" || common.ReportPath() != "" {
 		tracer = trace.New()
 		sys.Machine().SetTracer(tracer)
 	}
@@ -192,7 +196,13 @@ func main() {
 		}
 		mgr := &ckpt.Manager{EverySteps: *ckptEv, Path: *ckptTo}
 		rep, err := train.RunRecoverable(rec, *epochs, mgr,
-			func() (train.Recoverable, error) { return core.New(opts) })
+			func() (train.Recoverable, error) {
+				ns, err := core.New(opts)
+				if err == nil && tracer != nil {
+					ns.Machine().SetTracer(tracer)
+				}
+				return ns, err
+			})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
 			os.Exit(1)
@@ -228,11 +238,25 @@ func main() {
 			}
 			fmt.Printf("saved model checkpoint to %s\n", *saveTo)
 		}
+		if err := common.WriteReport(train.BuildRunReport(train.ReportInput{
+			Command: "dsptrain", System: sys.Name(), Dataset: td.Name,
+			GPUs: *gpus, Seed: *seed, Shrink: reportShrink(*dataIn, *shrink),
+			CachePolicy: opts.DynamicCache,
+			Epochs:      rep.Epochs, FT: rep,
+			Tracer: tracer, Compression: compressionOf(sys),
+		})); err != nil {
+			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+			os.Exit(1)
+		}
 		writeTrace(tracer, *traceTo)
 		return
 	}
 	fmt.Println("epoch  sim-time(s)  train-acc  val-acc   sample-MB  feature-MB")
-	var cum float64
+	var (
+		cum      float64
+		allStats []train.EpochStats
+		valAccs  []float64
+	)
 	for e := 0; e < *epochs; e++ {
 		st, err := sys.RunEpoch(e)
 		if err != nil {
@@ -241,6 +265,8 @@ func main() {
 		}
 		cum += float64(st.EpochTime)
 		valAcc := train.Evaluate(td, sys.Model(), opts.Sample, 2000, 99)
+		allStats = append(allStats, st)
+		valAccs = append(valAccs, valAcc)
 		fmt.Printf("%5d  %11.4g  %9.3f  %7.3f  %9.1f  %10.1f\n",
 			e, cum, st.Acc(), valAcc,
 			float64(st.SampleWire)/(1<<20), float64(st.FeatureWire)/(1<<20))
@@ -258,12 +284,42 @@ func main() {
 		}
 		fmt.Printf("saved model checkpoint to %s\n", *saveTo)
 	}
+	if err := common.WriteReport(train.BuildRunReport(train.ReportInput{
+		Command: "dsptrain", System: sys.Name(), Dataset: td.Name,
+		GPUs: *gpus, Seed: *seed, Shrink: reportShrink(*dataIn, *shrink),
+		CachePolicy: opts.DynamicCache,
+		Epochs:      allStats, ValAcc: valAccs,
+		Tracer: tracer, Compression: compressionOf(sys),
+	})); err != nil {
+		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+		os.Exit(1)
+	}
 	writeTrace(tracer, *traceTo)
 }
 
-// writeTrace dumps the Chrome trace, if tracing was requested.
+// reportShrink is the shrink divisor recorded in the run report: the flag
+// value for generated datasets, 0 when loading a prepared file (unknown).
+func reportShrink(dataIn string, shrink int) int {
+	if dataIn != "" {
+		return 0
+	}
+	return shrink
+}
+
+// compressionOf extracts codec accounting from systems that track it (DSP).
+func compressionOf(sys train.System) map[hw.TrafficClass]comm.CompressionStats {
+	if c, ok := sys.(interface {
+		Compression() map[hw.TrafficClass]comm.CompressionStats
+	}); ok {
+		return c.Compression()
+	}
+	return nil
+}
+
+// writeTrace dumps the Chrome trace, if tracing was requested (-report alone
+// records in memory without writing a trace file).
 func writeTrace(tracer *trace.Tracer, path string) {
-	if tracer == nil {
+	if tracer == nil || path == "" {
 		return
 	}
 	f, err := os.Create(path)

@@ -316,6 +316,7 @@ var Experiments = map[string]func(w io.Writer, cfg RunConfig) error{
 	"fault-sweep":       runnerFor(FaultSweep),
 	"cache-sweep":       runnerFor(CacheSweep),
 	"compress-sweep":    runnerFor(CompressSweep),
+	"perf":              Perf,
 }
 
 // ExperimentNames returns the registry keys sorted.

@@ -292,7 +292,7 @@ func (m *Manager) Rebalance(p *sim.Proc, fab *hw.Fabric) {
 			"peer":  float64(m.stats.Tiers.Peer),
 			"host":  float64(m.stats.Tiers.Host),
 		})
-		m.tracer.Instant("rebalance", "cache", m.pid, 0, float64(p.Now()),
+		m.tracer.Instant("rebalance", "cache", m.pid, 0, float64(p.Now()), "g",
 			map[string]string{
 				"promoted": fmt.Sprint(promoted),
 				"bytes":    fmt.Sprint(promoted * int64(m.store.RowBytes())),

@@ -6,10 +6,12 @@ package cliopts
 
 import (
 	"flag"
+	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/compress"
 	"repro/internal/fault"
+	"repro/internal/prof"
 )
 
 // Common holds the flag values shared by every binary that drives the
@@ -21,6 +23,7 @@ type Common struct {
 	cacheBudget  *int64
 	compressFeat *string
 	compressGrad *string
+	report       *string
 }
 
 // Register installs the shared flags on fs and returns the bound Common.
@@ -34,6 +37,8 @@ func Register(fs *flag.FlagSet) *Common {
 		"per-GPU feature cache budget in bytes (0 = fill free memory)")
 	c.compressFeat = fs.String("compress-feat", "",
 		"feature-transfer codec: none, fp32, fp16, int8, topk[:ratio] (NVLink replies and NIC sends)")
+	c.report = fs.String("report", "",
+		"write the machine-readable run report ("+prof.Schema+" JSON) to this file")
 	return c
 }
 
@@ -72,4 +77,23 @@ func (c *Common) GradCodec(seed uint64) (compress.Codec, error) {
 		return nil, nil
 	}
 	return compress.Parse(*c.compressGrad, seed)
+}
+
+// ReportPath returns the -report destination (empty = no report requested).
+func (c *Common) ReportPath() string { return *c.report }
+
+// WriteReport validates and writes the run report when -report was given,
+// printing a confirmation line. No-op without the flag.
+func (c *Common) WriteReport(r *prof.RunReport) error {
+	if *c.report == "" {
+		return nil
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if err := r.WriteFile(*c.report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote run report to %s\n", *c.report)
+	return nil
 }

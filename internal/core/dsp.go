@@ -30,6 +30,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/sample"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/train"
 )
 
@@ -151,6 +152,9 @@ func New(opts train.Options) (*DSP, error) {
 	// Distinct CCC worker ids: samplers 0..nS-1, loaders nS..nS+nL-1,
 	// trainer last.
 	s.coord = pipeline.NewCoordinator(s.m.Eng, n, opts.UseCCC, 2)
+	// The CLIs attach tracers to the machine after New returns, so the
+	// coordinator resolves the tracer at launch time.
+	s.coord.Tracer = func() *trace.Tracer { return s.m.GPUs[0].Tracer }
 	s.worlds = []*csp.World{s.world}
 	for i := 1; i < nS; i++ {
 		s.worlds = append(s.worlds, s.world.Clone())
@@ -219,6 +223,29 @@ func (s *DSP) Store() *featstore.Store { return s.store }
 
 // World exposes the CSP world (for comm-volume measurements).
 func (s *DSP) World() *csp.World { return s.world }
+
+// Compression merges the codec accounting of every communicator the system
+// drives — sampler worlds, loader instances, and the gradient allreduce —
+// into one per-traffic-class raw-vs-wire byte map.
+func (s *DSP) Compression() map[hw.TrafficClass]comm.CompressionStats {
+	out := map[hw.TrafficClass]comm.CompressionStats{}
+	merge := func(m map[hw.TrafficClass]comm.CompressionStats) {
+		for class, cs := range m {
+			acc := out[class]
+			acc.Raw += cs.Raw
+			acc.Wire += cs.Wire
+			out[class] = acc
+		}
+	}
+	for _, w := range s.worlds {
+		merge(w.Comm.Compression())
+	}
+	for _, lc := range s.loaderComms {
+		merge(lc.Compression())
+	}
+	merge(s.trainer.Comm.Compression())
+	return out
+}
 
 // loaded is the loader-to-trainer payload.
 type loaded struct {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/sample"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/train"
 )
 
@@ -101,6 +102,7 @@ func NewMulti(opts train.Options, machines int, net hw.NetworkSpec) (*MultiDSP, 
 		}
 		s.stores = append(s.stores, store)
 		coord := pipeline.NewCoordinator(s.cluster.Eng, n, opts.UseCCC, 2)
+		coord.Tracer = func() *trace.Tracer { return mach.GPUs[0].Tracer }
 		s.coords = append(s.coords, coord)
 		loader := comm.New(mach)
 		trainer := comm.New(mach)

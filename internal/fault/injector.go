@@ -164,7 +164,8 @@ const faultLane = 20
 
 func (in *Injector) instant(gpu int, name string) {
 	tr := in.m.GPUs[gpu].Tracer
-	tr.Instant(name, "fault", gpu, faultLane, float64(in.m.Eng.Now()), nil)
+	// Process-scoped: a fault marker concerns the whole GPU, not one lane.
+	tr.Instant(name, "fault", gpu, faultLane, float64(in.m.Eng.Now()), "p", nil)
 }
 
 func (in *Injector) span(gpu int, name string, start, end sim.Time) {

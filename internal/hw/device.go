@@ -104,7 +104,7 @@ func (d *Device) RunKernelThreads(p *sim.Proc, kind KernelKind, items int64, thr
 	p.Sleep(dur)
 	d.endBusy()
 	d.threads.Release(threads)
-	d.Tracer.Complete(kernelName(kind), "kernel", d.ID, 1,
+	d.Tracer.Complete(kernelName(kind), "kernel", d.ID, trace.LaneKernels,
 		float64(start), float64(d.eng.Now()),
 		map[string]string{"items": fmt.Sprint(items), "threads": fmt.Sprint(threads)})
 }
@@ -136,7 +136,7 @@ func (d *Device) Transfer(p *sim.Proc, f *Fabric, dst int, bytes int64, class Tr
 	f.Transfer(p, d.ID, dst, bytes, class)
 	d.endBusy()
 	d.threads.Release(commThreads)
-	d.Tracer.Complete(fmt.Sprintf("nvlink->%d", dst), "comm", d.ID, 2,
+	d.Tracer.Complete(fmt.Sprintf("nvlink->%d", dst), "comm", d.ID, trace.LaneNVLink,
 		float64(start), float64(d.eng.Now()),
 		map[string]string{"bytes": fmt.Sprint(bytes), "class": class.String()})
 }
@@ -154,7 +154,7 @@ func (d *Device) UVARead(p *sim.Proc, f *Fabric, items int64, itemBytes int, cla
 	f.UVARead(p, d.ID, items, itemBytes, class)
 	d.endBusy()
 	d.threads.Release(commThreads)
-	d.Tracer.Complete("uva", "comm", d.ID, 3,
+	d.Tracer.Complete("uva", "comm", d.ID, trace.LaneUVA,
 		float64(start), float64(d.eng.Now()),
 		map[string]string{"items": fmt.Sprint(items), "class": class.String()})
 }
@@ -245,12 +245,13 @@ func (m *Machine) SetTracer(t *trace.Tracer) {
 	for _, d := range m.GPUs {
 		d.Tracer = t
 		t.NamePid(d.ID, fmt.Sprintf("GPU %d", d.ID))
-		t.NameLane(d.ID, 1, "kernels")
-		t.NameLane(d.ID, 2, "nvlink")
-		t.NameLane(d.ID, 3, "uva")
-		t.NameLane(d.ID, 10, "sampler stage")
-		t.NameLane(d.ID, 11, "loader stage")
-		t.NameLane(d.ID, 12, "trainer stage")
+		t.NameLane(d.ID, trace.LaneKernels, "kernels")
+		t.NameLane(d.ID, trace.LaneNVLink, "nvlink")
+		t.NameLane(d.ID, trace.LaneUVA, "uva")
+		t.NameLane(d.ID, trace.LaneSampler, "sampler stage")
+		t.NameLane(d.ID, trace.LaneLoader, "loader stage")
+		t.NameLane(d.ID, trace.LaneTrainer, "trainer stage")
+		t.NameLane(d.ID, trace.LaneCCC, "ccc wait")
 	}
 }
 

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/rng"
@@ -121,5 +122,71 @@ func TestDeterministicQueries(t *testing.T) {
 	}
 	if h1.String() != h2.String() {
 		t.Fatal("identical streams gave different summaries")
+	}
+}
+
+// TestMergeQuantileProperty is the property test behind the profiler's
+// latency aggregation: for any shard count, distribution and seed, merging
+// per-shard histograms then querying quantiles must agree exactly with
+// observing the combined stream into one histogram (the merge is lossless),
+// and both must sit within the bucket scheme's ~2% relative error of the
+// true sample quantile.
+func TestMergeQuantileProperty(t *testing.T) {
+	dists := []struct {
+		name string
+		gen  func(r *rng.RNG) float64
+	}{
+		{"uniform", func(r *rng.RNG) float64 { return 1e-4 + r.Float64() }},
+		{"exponential", func(r *rng.RNG) float64 { return r.Exp(1000) }},
+		{"lognormal", func(r *rng.RNG) float64 { return math.Exp(r.NormFloat64()) }},
+		{"bimodal", func(r *rng.RNG) float64 {
+			if r.Intn(10) == 0 {
+				return 100 + r.Float64() // slow tail
+			}
+			return 1 + r.Float64()
+		}},
+	}
+	quantiles := []float64{0.05, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for _, dist := range dists {
+		for _, nShards := range []int{2, 3, 8, 16} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				const n = 4000
+				r := rng.New(seed*7919 + uint64(nShards))
+				shards := make([]*Histogram, nShards)
+				for i := range shards {
+					shards[i] = New()
+				}
+				all := New()
+				values := make([]float64, 0, n)
+				for i := 0; i < n; i++ {
+					v := dist.gen(r)
+					shards[r.Intn(nShards)].Observe(v)
+					all.Observe(v)
+					values = append(values, v)
+				}
+				merged := New()
+				for _, s := range shards {
+					merged.Merge(s)
+				}
+				sort.Float64s(values)
+				for _, q := range quantiles {
+					mq, aq := merged.Quantile(q), all.Quantile(q)
+					if mq != aq {
+						t.Fatalf("%s shards=%d seed=%d: Quantile(%g) merged %g != observe-all %g",
+							dist.name, nShards, seed, q, mq, aq)
+					}
+					idx := int(q*float64(len(values)-1) + 0.5)
+					exact := values[idx]
+					if relErr := math.Abs(mq-exact) / exact; relErr > 0.02 {
+						t.Fatalf("%s shards=%d seed=%d: Quantile(%g)=%g vs exact %g (err %.2f%% > 2%%)",
+							dist.name, nShards, seed, q, mq, exact, 100*relErr)
+					}
+				}
+				if merged.Count() != all.Count() || merged.Min() != all.Min() || merged.Max() != all.Max() {
+					t.Fatalf("%s shards=%d seed=%d: merged stats %s != observe-all %s",
+						dist.name, nShards, seed, merged, all)
+				}
+			}
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Coordinator arbitrates communication-kernel launches across GPUs.
@@ -26,6 +27,12 @@ type Coordinator struct {
 	// UseCCC selects leader-ordered launches; without it, launches acquire
 	// resources in arrival order and can deadlock.
 	UseCCC bool
+
+	// Tracer, when set, resolves the tracer current at launch time (the CLIs
+	// attach tracers after the system is built) so Enter can record
+	// "ccc-wait" stall spans — the time a communication kernel waited for
+	// its leader-ordered turn plus the kernel-slot acquisition.
+	Tracer func() *trace.Tracer
 
 	// slot[g] models the irrevocable SM allocation of the in-flight
 	// communication kernel on GPU g.
@@ -102,6 +109,7 @@ func (c *Coordinator) notifyAll() {
 // GPU gpu: under CCC it waits for the kernel's turn in the leader-decided
 // global order, then claims the GPU's (irrevocable) kernel resources.
 func (c *Coordinator) Enter(p *sim.Proc, gpu, workerID int) {
+	t0 := c.eng.Now()
 	if c.UseCCC {
 		gen := -1
 		if c.view != nil {
@@ -129,6 +137,13 @@ func (c *Coordinator) Enter(p *sim.Proc, gpu, workerID int) {
 		}
 	}
 	c.slot[gpu].Acquire(p, 1)
+	if c.Tracer != nil {
+		if tr := c.Tracer(); tr.Enabled() && c.eng.Now() > t0 {
+			tr.Complete("ccc-wait", "stall", gpu, trace.LaneCCC,
+				float64(t0), float64(c.eng.Now()),
+				map[string]string{"worker": fmt.Sprint(workerID)})
+		}
+	}
 }
 
 // Exit releases the kernel resources claimed by Enter.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Stages holds the per-GPU stage implementations for one training epoch.
@@ -23,12 +24,29 @@ type Stages struct {
 	// Train consumes the loaded batch (the trainer worker). Steps arrive
 	// strictly in order, preserving BSP semantics.
 	Train func(p *sim.Proc, step int, loaded interface{})
+	// Tracer, when set, records "queue-wait" stall spans (cat "stall") on
+	// Pid's stage lanes whenever a worker blocks on a full or empty queue —
+	// the per-mini-batch stall attribution internal/prof consumes.
+	Tracer *trace.Tracer
+	Pid    int
 }
 
 // queueItem tags payloads with their step so ordering violations are caught.
 type queueItem struct {
 	step int
 	v    interface{}
+}
+
+// stall records the time a worker spent parked on a queue operation as a
+// zero-work span on the worker's own stage lane. Queue waits happen strictly
+// between stage executions, so stall spans never overlap stage spans.
+func (s Stages) stall(tid int, kind string, step int, start, end sim.Time) {
+	if !s.Tracer.Enabled() || end <= start {
+		return
+	}
+	s.Tracer.Complete("queue-wait", "stall", s.Pid, tid,
+		float64(start), float64(end),
+		map[string]string{"op": kind, "step": fmt.Sprint(step)})
 }
 
 // RunPipelined spawns the three workers for one GPU, joined by bounded
@@ -43,30 +61,38 @@ func RunPipelined(eng *sim.Engine, name string, s Stages, queueCap int, done *si
 	eng.Go(name+"/sampler", func(p *sim.Proc) {
 		for step := s.FirstBatch; step < s.NumBatches; step++ {
 			v := s.Sample(p, step)
+			t0 := p.Now()
 			loadQ.Put(p, queueItem{step, v})
+			s.stall(trace.LaneSampler, "put", step, t0, p.Now())
 		}
 		loadQ.Close()
 	})
 	eng.Go(name+"/loader", func(p *sim.Proc) {
 		for {
+			t0 := p.Now()
 			item, ok := loadQ.Get(p)
 			if !ok {
 				trainQ.Close()
 				return
 			}
 			qi := item.(queueItem)
+			s.stall(trace.LaneLoader, "get", qi.step, t0, p.Now())
 			v := s.Load(p, qi.step, qi.v)
+			t1 := p.Now()
 			trainQ.Put(p, queueItem{qi.step, v})
+			s.stall(trace.LaneLoader, "put", qi.step, t1, p.Now())
 		}
 	})
 	eng.Go(name+"/trainer", func(p *sim.Proc) {
 		want := s.FirstBatch
 		for {
+			t0 := p.Now()
 			item, ok := trainQ.Get(p)
 			if !ok {
 				break
 			}
 			qi := item.(queueItem)
+			s.stall(trace.LaneTrainer, "get", qi.step, t0, p.Now())
 			if qi.step != want {
 				panic(fmt.Sprintf("pipeline: trainer got step %d, want %d (BSP violation)", qi.step, want))
 			}

@@ -1,0 +1,248 @@
+package prof
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// synthTrace builds a hand-constructed two-GPU trace with known overlap,
+// stalls, and a known critical path. Tracer inputs are virtual seconds.
+func synthTrace() *Trace {
+	tr := trace.New()
+	tr.NamePid(0, "GPU 0")
+	tr.NamePid(1, "GPU 1")
+	for pid := 0; pid < 2; pid++ {
+		tr.NameLane(pid, trace.LaneKernels, "kernels")
+		tr.NameLane(pid, trace.LaneNVLink, "nvlink")
+		tr.NameLane(pid, trace.LaneSampler, "sampler stage")
+		tr.NameLane(pid, trace.LaneLoader, "loader stage")
+		tr.NameLane(pid, trace.LaneTrainer, "trainer stage")
+		tr.NameLane(pid, trace.LaneCCC, "ccc wait")
+	}
+	// GPU 0: sampler 0-10s, loader 5-20 (overlaps sampler 5-10),
+	// trainer 20-40; queue-wait on trainer lane 10-20.
+	tr.Complete("sample step 0", "stage", 0, trace.LaneSampler, 0, 10, nil)
+	tr.Complete("load step 0", "stage", 0, trace.LaneLoader, 5, 20, nil)
+	tr.Complete("queue-wait", "stall", 0, trace.LaneTrainer, 10, 20, map[string]string{"op": "get"})
+	tr.Complete("train step 0", "stage", 0, trace.LaneTrainer, 20, 40, nil)
+	// Comm 25-35 fully inside a kernel 20-40 on GPU 0 -> hidden.
+	tr.Complete("allreduce", "comm", 0, trace.LaneNVLink, 25, 35, nil)
+	tr.Complete("mm", "kernel", 0, trace.LaneKernels, 20, 40, nil)
+	// GPU 1: one long trainer step 0-30 and a ccc-wait 30-34; comm 30-50
+	// with no kernel cover -> exposed.
+	tr.Complete("train step 0", "stage", 1, trace.LaneTrainer, 0, 30, nil)
+	tr.Complete("ccc-wait", "stall", 1, trace.LaneCCC, 30, 34, nil)
+	tr.Complete("allreduce", "comm", 1, trace.LaneNVLink, 30, 50, nil)
+	return FromTracer(tr)
+}
+
+func TestAnalyzeWindowTilesExactly(t *testing.T) {
+	p := Analyze(synthTrace())
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Window.Dur(), 50.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("window = %g, want %g", got, want)
+	}
+	var sum float64
+	for _, s := range p.CriticalPath {
+		sum += s.End - s.Start
+	}
+	// Exact equality: segments are stitched so they tile the window.
+	if sum != p.Window.Dur() {
+		t.Fatalf("critical path sums to %g, window is %g", sum, p.Window.Dur())
+	}
+	if p.CriticalPath[0].Start != p.Window.Start || p.CriticalPath[len(p.CriticalPath)-1].End != p.Window.End {
+		t.Fatalf("critical path does not span window: %+v", p.CriticalPath)
+	}
+}
+
+func TestCriticalPathPrefersStages(t *testing.T) {
+	p := Analyze(synthTrace())
+	// The tail [40s, 50s] has only GPU 1's comm span active -> comm seg.
+	last := p.CriticalPath[len(p.CriticalPath)-1]
+	if last.Cat != "comm" || last.Name != "allreduce" {
+		t.Fatalf("tail segment = %+v, want exposed comm", last)
+	}
+	// Inside [0s, 40s] stages dominate kernels/comm despite overlap.
+	for _, s := range p.CriticalPath[:len(p.CriticalPath)-1] {
+		if s.Cat != "stage" {
+			t.Fatalf("segment %+v: want stage on the critical path", s)
+		}
+	}
+	if p.CriticalPathByCat["stage"] != 40.0 || p.CriticalPathByCat["comm"] != 10.0 {
+		t.Fatalf("by-cat decomposition = %v", p.CriticalPathByCat)
+	}
+}
+
+func TestStallAttribution(t *testing.T) {
+	p := Analyze(synthTrace())
+	if got := p.Stalls.QueueWait; math.Abs(got-10.0) > 1e-12 {
+		t.Fatalf("queue wait = %g, want %g", got, 10.0)
+	}
+	if got := p.Stalls.CCCWait; math.Abs(got-4.0) > 1e-12 {
+		t.Fatalf("ccc wait = %g, want %g", got, 4.0)
+	}
+	if p.Stalls.Count != 2 {
+		t.Fatalf("stall count = %d, want 2", p.Stalls.Count)
+	}
+	if got := p.Stalls.ByLane["GPU 0/trainer stage"]; math.Abs(got-10.0) > 1e-12 {
+		t.Fatalf("by-lane queue wait = %g", got)
+	}
+}
+
+func TestOverlapFractions(t *testing.T) {
+	p := Analyze(synthTrace())
+	// GPU 0 stage activity: union [0,40] = 40; ≥2 lanes: [5,10] = 5.
+	// GPU 1: union [0,30], no multi. Overlap = 5 / 70.
+	if want := 5.0 / 70.0; math.Abs(p.PipelineOverlap-want) > 1e-12 {
+		t.Fatalf("pipeline overlap = %g, want %g", p.PipelineOverlap, want)
+	}
+	// Comm totals 30µs; hidden 10µs (GPU 0's allreduce under its kernel).
+	if want := 10.0 / 30.0; math.Abs(p.CommComputeOverlap-want) > 1e-12 {
+		t.Fatalf("comm/compute overlap = %g, want %g", p.CommComputeOverlap, want)
+	}
+}
+
+func TestLaneStats(t *testing.T) {
+	p := Analyze(synthTrace())
+	find := func(pid, tid int) *LaneStat {
+		for i := range p.Lanes {
+			if p.Lanes[i].Pid == pid && p.Lanes[i].Tid == tid {
+				return &p.Lanes[i]
+			}
+		}
+		return nil
+	}
+	tl := find(0, trace.LaneTrainer)
+	if tl == nil {
+		t.Fatal("missing GPU0 trainer lane")
+	}
+	if math.Abs(tl.Busy-20.0) > 1e-12 || math.Abs(tl.Stall-10.0) > 1e-12 {
+		t.Fatalf("trainer lane busy=%g stall=%g", tl.Busy, tl.Stall)
+	}
+	if math.Abs(tl.Util-20.0/50.0) > 1e-12 {
+		t.Fatalf("trainer util = %g", tl.Util)
+	}
+	// Lanes come out sorted by (pid, tid).
+	for i := 1; i < len(p.Lanes); i++ {
+		a, b := p.Lanes[i-1], p.Lanes[i]
+		if a.Pid > b.Pid || (a.Pid == b.Pid && a.Tid >= b.Tid) {
+			t.Fatalf("lanes not sorted: %+v before %+v", a, b)
+		}
+	}
+}
+
+func TestIdleAttribution(t *testing.T) {
+	tr := trace.New()
+	tr.NamePid(0, "GPU 0")
+	tr.NameLane(0, trace.LaneTrainer, "trainer stage")
+	tr.Complete("train step 0", "stage", 0, trace.LaneTrainer, 0, 10, nil)
+	tr.Complete("train step 1", "stage", 0, trace.LaneTrainer, 30, 40, nil)
+	p := Analyze(FromTracer(tr))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CriticalPathByCat["idle"]; math.Abs(got-20.0) > 1e-12 {
+		t.Fatalf("idle = %g, want %g (path %+v)", got, 20.0, p.CriticalPath)
+	}
+}
+
+func TestSequentialOverlapIsZero(t *testing.T) {
+	tr := trace.New()
+	tr.NamePid(0, "GPU 0")
+	// One stage after another on distinct lanes, never concurrent.
+	tr.Complete("sample step 0", "stage", 0, trace.LaneSampler, 0, 10, nil)
+	tr.Complete("load step 0", "stage", 0, trace.LaneLoader, 10, 20, nil)
+	tr.Complete("train step 0", "stage", 0, trace.LaneTrainer, 20, 30, nil)
+	p := Analyze(FromTracer(tr))
+	if p.PipelineOverlap != 0 {
+		t.Fatalf("sequential pipeline overlap = %g, want exactly 0", p.PipelineOverlap)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"sample step 12":  "sample step #",
+		"req 4711 buf 9":  "req # buf #",
+		"allreduce":       "allreduce",
+		"epoch 3 step 14": "epoch # step #",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTopSpansSelfTime(t *testing.T) {
+	tr := trace.New()
+	// Parent span 0-100 with a nested child 20-60 on the same lane.
+	tr.Complete("train step 0", "stage", 0, trace.LaneTrainer, 0, 100, nil)
+	tr.Complete("backward", "kernel", 0, trace.LaneTrainer, 20, 60, nil)
+	p := Analyze(FromTracer(tr))
+	var parent, child *SpanAgg
+	for i := range p.TopSpans {
+		switch p.TopSpans[i].Name {
+		case "train step #":
+			parent = &p.TopSpans[i]
+		case "backward":
+			child = &p.TopSpans[i]
+		}
+	}
+	if parent == nil || child == nil {
+		t.Fatalf("missing aggregates: %+v", p.TopSpans)
+	}
+	if math.Abs(parent.Self-60.0) > 1e-12 || math.Abs(parent.Total-100.0) > 1e-12 {
+		t.Fatalf("parent self=%g total=%g", parent.Self, parent.Total)
+	}
+	if math.Abs(child.Self-40.0) > 1e-12 {
+		t.Fatalf("child self=%g", child.Self)
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	p := Analyze(FromTracer(trace.New()))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.CriticalPath) != 0 || p.PipelineOverlap != 0 {
+		t.Fatalf("empty trace produced %+v", p)
+	}
+}
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	tr := trace.New()
+	tr.NamePid(0, "GPU 0")
+	tr.NameLane(0, trace.LaneTrainer, "trainer stage")
+	tr.Complete("train step 0", "stage", 0, trace.LaneTrainer, 0, 10, map[string]string{"k": "v"})
+	tr.Instant("marker", "fault", 0, trace.LaneTrainer, 5, "p", nil)
+	var buf = &bytesBuffer{}
+	if err := tr.WriteJSON(buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace(buf.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.PidName(0) != "GPU 0" || parsed.LaneName(0, trace.LaneTrainer) != "trainer stage" {
+		t.Fatalf("lost metadata: pids=%v lanes=%v", parsed.Pids, parsed.Lanes)
+	}
+	spans := parsed.Spans()
+	if len(spans) != 1 || spans[0].Args["k"] != "v" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	// Profiles from live tracer and parsed file must agree.
+	a, b := Analyze(FromTracer(tr)), Analyze(parsed)
+	if a.Window != b.Window || len(a.CriticalPath) != len(b.CriticalPath) {
+		t.Fatalf("live %+v != parsed %+v", a.Window, b.Window)
+	}
+}
+
+// bytesBuffer is a minimal io.Writer accumulating bytes (avoids importing
+// bytes just for the test).
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }

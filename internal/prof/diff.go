@@ -1,0 +1,188 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// MetricDelta is one compared metric of an A/B report diff. Pct is the
+// relative change from A to B; Regression marks a worse-direction change
+// beyond the caller's threshold.
+type MetricDelta struct {
+	Name string  `json:"name"`
+	A    float64 `json:"a"`
+	B    float64 `json:"b"`
+	Pct  float64 `json:"pct"` // (B-A)/A, signed; +Inf when A==0, B>0
+	// HigherIsBetter records the metric's good direction so renderers can
+	// mark improvements vs regressions.
+	HigherIsBetter bool `json:"higher_is_better,omitempty"`
+	Regression     bool `json:"regression,omitempty"`
+}
+
+// DiffResult is the full comparison of two RunReports.
+type DiffResult struct {
+	Threshold float64       `json:"threshold"`
+	Metrics   []MetricDelta `json:"metrics"`
+	// Regressions counts metrics whose worse-direction change exceeded the
+	// threshold — the CI gate fails when this is nonzero.
+	Regressions int `json:"regressions"`
+}
+
+// metric describes one comparable scalar extracted from a report.
+type metric struct {
+	name   string
+	get    func(*RunReport) (float64, bool)
+	higher bool // true when larger values are better
+}
+
+// metrics lists every scalar Diff compares, in report order. A metric only
+// appears in the result when both reports carry it.
+var diffMetrics = []metric{
+	{"wall_time", func(r *RunReport) (float64, bool) { return r.WallTime, r.WallTime > 0 }, false},
+	{"throughput", func(r *RunReport) (float64, bool) {
+		if r.Serving == nil {
+			return 0, false
+		}
+		return r.Serving.Throughput, true
+	}, true},
+	{"shed_rate", func(r *RunReport) (float64, bool) {
+		if r.Serving == nil {
+			return 0, false
+		}
+		return r.Serving.ShedRate, true
+	}, false},
+	{"latency_p50", latencyMetric(func(l *LatencySummary) float64 { return l.P50 }), false},
+	{"latency_p95", latencyMetric(func(l *LatencySummary) float64 { return l.P95 }), false},
+	{"latency_p99", latencyMetric(func(l *LatencySummary) float64 { return l.P99 }), false},
+	{"epoch_time", func(r *RunReport) (float64, bool) {
+		if len(r.Epochs) == 0 {
+			return 0, false
+		}
+		var sum float64
+		for _, e := range r.Epochs {
+			sum += e.Time
+		}
+		return sum / float64(len(r.Epochs)), true
+	}, false},
+	{"cache_hit_rate", func(r *RunReport) (float64, bool) {
+		if r.Cache == nil {
+			return 0, false
+		}
+		return r.Cache.HitRate, true
+	}, true},
+	{"wire_sample_bytes", wireMetric(func(w Wire) int64 { return w.Sample }), false},
+	{"wire_feature_bytes", wireMetric(func(w Wire) int64 { return w.Feature }), false},
+	{"wire_grad_bytes", wireMetric(func(w Wire) int64 { return w.Grad }), false},
+	{"queue_wait", stallMetric(func(s StallReport) float64 { return s.QueueWait }), false},
+	{"ccc_wait", stallMetric(func(s StallReport) float64 { return s.CCCWait }), false},
+	{"pipeline_overlap", func(r *RunReport) (float64, bool) {
+		if r.Profile == nil {
+			return 0, false
+		}
+		return r.Profile.PipelineOverlap, true
+	}, true},
+	{"comm_compute_overlap", func(r *RunReport) (float64, bool) {
+		if r.Profile == nil {
+			return 0, false
+		}
+		return r.Profile.CommComputeOverlap, true
+	}, true},
+	{"mean_mttr", func(r *RunReport) (float64, bool) {
+		if r.Faults == nil || r.Faults.MeanMTTR <= 0 {
+			return 0, false
+		}
+		return r.Faults.MeanMTTR, true
+	}, false},
+}
+
+func latencyMetric(pick func(*LatencySummary) float64) func(*RunReport) (float64, bool) {
+	return func(r *RunReport) (float64, bool) {
+		if r.Latency == nil {
+			return 0, false
+		}
+		return pick(r.Latency), true
+	}
+}
+
+func wireMetric(pick func(Wire) int64) func(*RunReport) (float64, bool) {
+	return func(r *RunReport) (float64, bool) {
+		v := pick(r.Wire)
+		return float64(v), v > 0
+	}
+}
+
+func stallMetric(pick func(StallReport) float64) func(*RunReport) (float64, bool) {
+	return func(r *RunReport) (float64, bool) {
+		if r.Profile == nil {
+			return 0, false
+		}
+		return pick(r.Profile.Stalls), true
+	}
+}
+
+// Diff compares baseline a against candidate b. threshold is the tolerated
+// relative worsening (0.15 = 15%); metrics beyond it are flagged as
+// regressions. Pure stall/overlap metrics are informational only — they are
+// diffed but never flagged, since a faster run can legitimately shift where
+// it waits; the gate rests on end-to-end metrics (wall time, latency,
+// throughput, wire bytes).
+func Diff(a, b *RunReport, threshold float64) *DiffResult {
+	res := &DiffResult{Threshold: threshold}
+	informational := map[string]bool{
+		"queue_wait": true, "ccc_wait": true,
+		"pipeline_overlap": true, "comm_compute_overlap": true,
+		"shed_rate": true, "cache_hit_rate": true,
+	}
+	for _, m := range diffMetrics {
+		va, oka := m.get(a)
+		vb, okb := m.get(b)
+		if !oka || !okb {
+			continue
+		}
+		d := MetricDelta{Name: m.name, A: va, B: vb, HigherIsBetter: m.higher}
+		switch {
+		case va != 0:
+			d.Pct = (vb - va) / math.Abs(va)
+		case vb != 0:
+			d.Pct = math.Inf(1)
+		}
+		if !informational[m.name] {
+			worse := d.Pct
+			if m.higher {
+				worse = -d.Pct
+			}
+			if worse > threshold {
+				d.Regression = true
+				res.Regressions++
+			}
+		}
+		res.Metrics = append(res.Metrics, d)
+	}
+	return res
+}
+
+// WriteText renders the diff as an aligned table.
+func (d *DiffResult) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%-22s %14s %14s %9s\n", "metric", "baseline", "candidate", "change")
+	rows := append([]MetricDelta(nil), d.Metrics...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].Regression && !rows[j].Regression
+	})
+	for _, m := range rows {
+		mark := ""
+		if m.Regression {
+			mark = "  REGRESSION"
+		} else if m.Pct != 0 {
+			improved := m.Pct > 0 == m.HigherIsBetter
+			if improved {
+				mark = "  improved"
+			}
+		}
+		fmt.Fprintf(w, "%-22s %14.6g %14.6g %8.1f%%%s\n", m.Name, m.A, m.B, 100*m.Pct, mark)
+	}
+	if d.Regressions > 0 {
+		fmt.Fprintf(w, "\n%d regression(s) beyond %.0f%% threshold\n", d.Regressions, 100*d.Threshold)
+	}
+}

@@ -1,0 +1,82 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleReport(wall float64, p99 float64) *RunReport {
+	r := New("dsptrain")
+	r.System = "DSP"
+	r.GPUs = 2
+	r.WallTime = wall
+	r.Latency = &LatencySummary{Count: 100, Mean: p99 / 2, P50: p99 / 3, P95: p99 * 0.9, P99: p99, Min: 1, Max: p99}
+	r.Wire = Wire{Sample: 1000, Feature: 2000, Grad: 3000}
+	return r
+}
+
+func TestDiffNoRegression(t *testing.T) {
+	a, b := sampleReport(10, 5), sampleReport(10.5, 5.2)
+	d := Diff(a, b, 0.15)
+	if d.Regressions != 0 {
+		t.Fatalf("unexpected regressions: %+v", d.Metrics)
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	a, b := sampleReport(10, 5), sampleReport(13, 5)
+	d := Diff(a, b, 0.15)
+	if d.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1: %+v", d.Regressions, d.Metrics)
+	}
+	for _, m := range d.Metrics {
+		if m.Name == "wall_time" && !m.Regression {
+			t.Fatalf("wall_time not flagged: %+v", m)
+		}
+	}
+}
+
+func TestDiffHigherIsBetterDirection(t *testing.T) {
+	a, b := sampleReport(10, 5), sampleReport(10, 5)
+	a.Serving = &ServingReport{Throughput: 100}
+	b.Serving = &ServingReport{Throughput: 70} // -30% throughput
+	d := Diff(a, b, 0.15)
+	if d.Regressions != 1 {
+		t.Fatalf("throughput drop not flagged: %+v", d.Metrics)
+	}
+	// Improvement in the same metric is not a regression.
+	b.Serving.Throughput = 200
+	if d := Diff(a, b, 0.15); d.Regressions != 0 {
+		t.Fatalf("throughput gain flagged: %+v", d.Metrics)
+	}
+}
+
+func TestDiffInformationalMetricsNeverGate(t *testing.T) {
+	a, b := sampleReport(10, 5), sampleReport(10, 5)
+	a.Profile = &Profile{Stalls: StallReport{QueueWait: 1}}
+	b.Profile = &Profile{Stalls: StallReport{QueueWait: 10}} // 10x more stall
+	if d := Diff(a, b, 0.15); d.Regressions != 0 {
+		t.Fatalf("informational stall metric gated: %+v", d.Metrics)
+	}
+}
+
+func TestDiffSkipsMissingSections(t *testing.T) {
+	a, b := sampleReport(10, 5), sampleReport(10, 5)
+	a.Latency, b.Latency = nil, nil
+	d := Diff(a, b, 0.15)
+	for _, m := range d.Metrics {
+		if strings.HasPrefix(m.Name, "latency") {
+			t.Fatalf("latency diffed without data: %+v", m)
+		}
+	}
+}
+
+func TestDiffTextOutput(t *testing.T) {
+	a, b := sampleReport(10, 5), sampleReport(13, 5)
+	var sb strings.Builder
+	Diff(a, b, 0.15).WriteText(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "wall_time") {
+		t.Fatalf("diff text missing regression marker:\n%s", out)
+	}
+}

@@ -1,0 +1,250 @@
+// Package prof is the pipeline profiler: it consumes trace.Tracer events
+// and computes, deterministically, where a run's virtual time went —
+// per-GPU × per-lane busy/idle utilisation, queue-wait and CCC-wait stall
+// attribution, the critical path of the run (which stage on which GPU
+// bounded wall time), and comm/compute overlap fractions.
+//
+// It also defines the versioned RunReport JSON schema every CLI emits
+// (dsptrain, dspserve, dspbench via -report), replacing the ad-hoc
+// per-command report structs with one machine-readable document the
+// dspprof analyzer can summarise and A/B-diff as a perf-regression gate.
+//
+// All quantities are functions of virtual time, so identical seeds produce
+// byte-identical reports on any host.
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+// Schema is the RunReport format version. Bump the suffix on any
+// backwards-incompatible change; readers reject unknown versions.
+const Schema = "dsp-runreport/1"
+
+// RunReport is the canonical run summary shared by every CLI. Optional
+// sections are nil/empty when a run has nothing to report there (a serving
+// run has no epochs; a fault-free run has no Faults section).
+type RunReport struct {
+	Schema  string `json:"schema"`
+	Command string `json:"command"`           // dsptrain | dspserve | dspbench
+	System  string `json:"system,omitempty"`  // DSP, DSP-Seq, DGL-UVA, ...
+	Dataset string `json:"dataset,omitempty"` // products, papers, friendster
+	GPUs    int    `json:"gpus"`
+	Seed    uint64 `json:"seed"`
+	Shrink  int    `json:"shrink,omitempty"` // dataset shrink divisor, when known
+
+	// WallTime is the total virtual time of the run in seconds.
+	WallTime float64 `json:"wall_time"`
+	// Stages sums per-stage busy time across ranks and steps (seconds);
+	// under the pipeline these overlap, so their sum exceeds WallTime.
+	Stages map[string]float64 `json:"stages,omitempty"`
+	// Utilization is each GPU's busy fraction over the last measured window.
+	Utilization []float64 `json:"utilization,omitempty"`
+
+	Wire Wire `json:"wire"`
+	// Compression maps traffic class -> raw vs wire bytes for collectives
+	// that carried a codec.
+	Compression map[string]WireStat `json:"compression,omitempty"`
+
+	Cache *CacheReport `json:"cache,omitempty"`
+
+	// Latency is the end-to-end request latency distribution (serving runs).
+	Latency *LatencySummary `json:"latency,omitempty"`
+	// StageLatency holds the per-step stage duration distributions of a
+	// training run (keys: sample, load, train).
+	StageLatency map[string]*LatencySummary `json:"stage_latency,omitempty"`
+
+	Epochs  []EpochReport  `json:"epochs,omitempty"`
+	Serving *ServingReport `json:"serving,omitempty"`
+	Faults  *FaultReport   `json:"faults,omitempty"`
+
+	// Profile is the trace-derived pipeline profile (present when the run
+	// traced; -report without -trace still records an in-memory trace).
+	Profile *Profile `json:"profile,omitempty"`
+}
+
+// Wire aggregates fabric traffic by semantic class, in wire bytes.
+type Wire struct {
+	Sample  int64 `json:"sample"`
+	Feature int64 `json:"feature"`
+	Grad    int64 `json:"grad"`
+	Inter   int64 `json:"inter,omitempty"` // inter-machine NIC traffic
+}
+
+// WireStat is raw payload bytes versus bytes actually charged to the fabric.
+type WireStat struct {
+	Raw  int64 `json:"raw"`
+	Wire int64 `json:"wire"`
+}
+
+// CacheReport is the tiered feature-read accounting plus adaptive-cache
+// adaptation totals (zero under the static policy).
+type CacheReport struct {
+	Policy        string  `json:"policy,omitempty"`
+	Local         int64   `json:"local"`
+	Peer          int64   `json:"peer"`
+	Host          int64   `json:"host"`
+	HitRate       float64 `json:"hit_rate"`
+	Promoted      int64   `json:"promoted,omitempty"`
+	MovedBytes    int64   `json:"moved_bytes,omitempty"`
+	Rebalances    int     `json:"rebalances,omitempty"`
+	RebalanceTime float64 `json:"rebalance_time,omitempty"` // seconds
+}
+
+// LatencySummary is a rendered metrics.Histogram: the conventional
+// percentiles plus count/mean/min/max, all in the histogram's native unit.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Latency renders a histogram into its summary (nil for empty histograms).
+func Latency(h *metrics.Histogram) *LatencySummary {
+	if h == nil || h.Count() == 0 {
+		return nil
+	}
+	return &LatencySummary{
+		Count: h.Count(), Mean: h.Mean(),
+		P50: h.P50(), P95: h.P95(), P99: h.P99(),
+		Min: h.Min(), Max: h.Max(),
+	}
+}
+
+// EpochReport is one training epoch. Start/End are virtual timestamps when
+// the driver recorded them (zero otherwise — e.g. fault-tolerant replays).
+type EpochReport struct {
+	Epoch       int     `json:"epoch"`
+	Start       float64 `json:"start,omitempty"`
+	End         float64 `json:"end,omitempty"`
+	Time        float64 `json:"time"` // virtual seconds
+	Acc         float64 `json:"acc,omitempty"`
+	ValAcc      float64 `json:"val_acc,omitempty"`
+	SampleStage float64 `json:"sample_stage,omitempty"`
+	LoadStage   float64 `json:"load_stage,omitempty"`
+	TrainStage  float64 `json:"train_stage,omitempty"`
+}
+
+// ServingReport carries the serving-only scalars of a dspserve run.
+type ServingReport struct {
+	Offered         float64 `json:"offered"`
+	Throughput      float64 `json:"throughput"`
+	Arrived         int     `json:"arrived"`
+	Completed       int     `json:"completed"`
+	Shed            int     `json:"shed"`
+	ShedRate        float64 `json:"shed_rate"`
+	Rounds          int     `json:"rounds"`
+	MeanBatch       float64 `json:"mean_batch"`
+	ExpectedHitRate float64 `json:"expected_hit_rate,omitempty"`
+	Rerouted        int     `json:"rerouted,omitempty"`
+	Lost            int     `json:"lost,omitempty"`
+	DeadGPUs        []int   `json:"dead_gpus,omitempty"`
+}
+
+// FaultReport summarises fault-tolerance outcomes: recoveries with MTTR and
+// checkpoint overhead.
+type FaultReport struct {
+	Recoveries      []RecoveryReport `json:"recoveries,omitempty"`
+	MeanMTTR        float64          `json:"mean_mttr,omitempty"` // seconds
+	Checkpoints     int              `json:"checkpoints,omitempty"`
+	CkptBytes       int64            `json:"ckpt_bytes,omitempty"`
+	CkptOverheadPct float64          `json:"ckpt_overhead_pct,omitempty"`
+}
+
+// RecoveryReport is one absorbed crash.
+type RecoveryReport struct {
+	GPU  int     `json:"gpu"`
+	At   float64 `json:"at"`   // virtual seconds
+	MTTR float64 `json:"mttr"` // seconds (<0: never repaired)
+}
+
+// New returns a report with the schema stamped.
+func New(command string) *RunReport {
+	return &RunReport{Schema: Schema, Command: command}
+}
+
+// WriteJSON emits the report as deterministic, indented JSON: struct fields
+// in declaration order, map keys sorted by encoding/json, HTML left alone.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// EncodeJSON renders the report to bytes (WriteJSON into a buffer).
+func (r *RunReport) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile writes the report to path.
+func (r *RunReport) WriteFile(path string) error {
+	data, err := r.EncodeJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ParseReport decodes and validates a RunReport document.
+func ParseReport(data []byte) (*RunReport, error) {
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("prof: bad report JSON: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReadReportFile loads and validates a RunReport from path.
+func ReadReportFile(path string) (*RunReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseReport(data)
+}
+
+// Validate checks the report against its schema: version, required fields,
+// and internal consistency of the profile section.
+func (r *RunReport) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("prof: unsupported schema %q (want %q)", r.Schema, Schema)
+	}
+	if r.Command == "" {
+		return fmt.Errorf("prof: report missing command")
+	}
+	if r.GPUs < 0 {
+		return fmt.Errorf("prof: negative gpu count %d", r.GPUs)
+	}
+	if r.WallTime < 0 {
+		return fmt.Errorf("prof: negative wall time %g", r.WallTime)
+	}
+	for name, v := range r.Stages {
+		if v < 0 {
+			return fmt.Errorf("prof: negative stage time %s=%g", name, v)
+		}
+	}
+	if p := r.Profile; p != nil {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

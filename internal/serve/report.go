@@ -6,6 +6,8 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/comm"
+	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -55,6 +57,11 @@ type Report struct {
 	PromotedRows   int64
 	RebalanceBytes int64
 	RebalanceTime  sim.Time
+
+	// Wire traffic totals accumulated over the run (wire bytes) and the
+	// per-traffic-class codec accounting of the run's communicators.
+	SampleWire, FeatureWire int64
+	Compression             map[hw.TrafficClass]comm.CompressionStats
 
 	// Requests holds every completed request sorted by ID — the per-request
 	// latency trace used by the determinism tests.
@@ -108,6 +115,18 @@ func (s *Server) report(end sim.Time) *Report {
 	}
 	for _, h := range s.latency {
 		r.Latency.Merge(h)
+	}
+	ctr := s.m.Fabric.Counters
+	r.SampleWire = ctr.TotalWire(hw.TrafficSample)
+	r.FeatureWire = ctr.TotalWire(hw.TrafficFeature)
+	r.Compression = map[hw.TrafficClass]comm.CompressionStats{}
+	for _, c := range []*comm.Communicator{s.world.Comm, s.execComm} {
+		for class, cs := range c.Compression() {
+			acc := r.Compression[class]
+			acc.Raw += cs.Raw
+			acc.Wire += cs.Wire
+			r.Compression[class] = acc
+		}
 	}
 	if end > 0 {
 		r.Throughput = float64(len(s.completed)) / float64(end)

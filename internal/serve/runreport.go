@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"repro/internal/prof"
+	"repro/internal/trace"
+)
+
+// ReportMeta carries the run identity a Report does not know about itself.
+type ReportMeta struct {
+	Dataset string
+	GPUs    int
+	Seed    uint64
+	Shrink  int
+	// Tracer, when enabled, contributes the trace-derived pipeline profile.
+	Tracer *trace.Tracer
+}
+
+// RunReport renders the serving report into the canonical prof.RunReport
+// schema shared by every CLI.
+func (r *Report) RunReport(meta ReportMeta) *prof.RunReport {
+	out := prof.New("dspserve")
+	out.System = "DSP"
+	out.Dataset = meta.Dataset
+	out.GPUs = meta.GPUs
+	out.Seed = meta.Seed
+	out.Shrink = meta.Shrink
+	out.WallTime = float64(r.Makespan)
+	out.Wire = prof.Wire{Sample: r.SampleWire, Feature: r.FeatureWire}
+	for class, cs := range r.Compression {
+		if cs.Raw == 0 && cs.Wire == 0 {
+			continue
+		}
+		if out.Compression == nil {
+			out.Compression = map[string]prof.WireStat{}
+		}
+		out.Compression[class.String()] = prof.WireStat{Raw: cs.Raw, Wire: cs.Wire}
+	}
+	out.Latency = prof.Latency(r.Latency)
+	if total := r.LocalRows + r.RemoteRows + r.HostRows; total > 0 {
+		out.Cache = &prof.CacheReport{
+			Policy:        r.CachePolicy.String(),
+			Local:         r.LocalRows,
+			Peer:          r.RemoteRows,
+			Host:          r.HostRows,
+			HitRate:       r.CacheHitRate(),
+			Promoted:      r.PromotedRows,
+			MovedBytes:    r.RebalanceBytes,
+			Rebalances:    r.Rebalances,
+			RebalanceTime: float64(r.RebalanceTime),
+		}
+	}
+	sv := ServingRunReport(r)
+	out.Serving = &sv
+	if len(r.Recoveries) > 0 || len(r.DeadGPUs) > 0 {
+		fr := &prof.FaultReport{}
+		var sum float64
+		var repaired int
+		for _, rec := range r.Recoveries {
+			fr.Recoveries = append(fr.Recoveries, prof.RecoveryReport{
+				GPU: rec.GPU, At: float64(rec.At), MTTR: float64(rec.MTTR),
+			})
+			if rec.MTTR >= 0 {
+				sum += float64(rec.MTTR)
+				repaired++
+			}
+		}
+		if repaired > 0 {
+			fr.MeanMTTR = sum / float64(repaired)
+		}
+		out.Faults = fr
+	}
+	if meta.Tracer.Enabled() {
+		out.Profile = prof.Analyze(prof.FromTracer(meta.Tracer))
+	}
+	return out
+}
+
+// ServingRunReport extracts the serving-only scalar section.
+func ServingRunReport(r *Report) prof.ServingReport {
+	return prof.ServingReport{
+		Offered:         r.Offered,
+		Throughput:      r.Throughput,
+		Arrived:         r.Arrived,
+		Completed:       r.Completed,
+		Shed:            r.Shed,
+		ShedRate:        r.ShedRate(),
+		Rounds:          r.Rounds,
+		MeanBatch:       r.MeanBatch,
+		ExpectedHitRate: r.ExpectedHitRate,
+		Rerouted:        r.Rerouted,
+		Lost:            r.Lost,
+		DeadGPUs:        append([]int(nil), r.DeadGPUs...),
+	}
+}

@@ -349,6 +349,7 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 
 	s.coord = pipeline.NewCoordinator(s.m.Eng, n, cfg.UseCCC, 2)
+	s.coord.Tracer = func() *trace.Tracer { return s.m.GPUs[0].Tracer }
 	s.execComm = comm.New(s.m)
 	if cfg.UseCCC {
 		s.world.Comm.SetGate(s.coord.Gate(samplerWorker))
@@ -543,7 +544,7 @@ func (s *Server) generator(p *sim.Proc) {
 		s.arrived++
 		if len(s.pending[g]) >= cfg.QueueDepth {
 			s.shed++
-			cfg.Tracer.Instant("shed", "serve", n, 0, float64(p.Now()),
+			cfg.Tracer.Instant("shed", "serve", n, 0, float64(p.Now()), "t",
 				map[string]string{"node": fmt.Sprint(node), "gpu": fmt.Sprint(g)})
 			continue
 		}

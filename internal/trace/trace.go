@@ -13,6 +13,21 @@ import (
 	"sort"
 )
 
+// Canonical thread-lane ids shared by every emitter so analysis code
+// (internal/prof) can classify spans without string-matching lane labels.
+// GPU pids use 1-13; the serving frontend adds 20/21 on GPU pids.
+const (
+	LaneKernels  = 1  // compute/gather/sample kernels
+	LaneNVLink   = 2  // NVLink transfers
+	LaneUVA      = 3  // zero-copy host reads
+	LaneSampler  = 10 // sampler worker stage
+	LaneLoader   = 11 // loader worker stage
+	LaneTrainer  = 12 // trainer worker stage
+	LaneCCC      = 13 // CCC launch-gate waits
+	LaneRequests = 20 // serving: per-request spans
+	LaneRounds   = 21 // serving: dispatch-round spans
+)
+
 // Event is one trace event in microseconds of virtual time. Ph is "X"
 // (complete span), "C" (counter sample, numeric Values) or "i" (instant).
 type Event struct {
@@ -87,14 +102,17 @@ func (t *Tracer) Counter(name string, pid int, ts float64, values map[string]flo
 
 // Instant records a zero-duration marker at virtual time ts (seconds), drawn
 // as a flag on the lane — used for one-off occurrences such as shed requests.
-// The scope is "t" (thread-scoped).
-func (t *Tracer) Instant(name, cat string, pid, tid int, ts float64, args map[string]string) {
+// scope is "t" (thread), "p" (process) or "g" (global); empty defaults to "t".
+func (t *Tracer) Instant(name, cat string, pid, tid int, ts float64, scope string, args map[string]string) {
 	if t == nil {
 		return
 	}
+	if scope == "" {
+		scope = "t"
+	}
 	t.events = append(t.events, Event{
 		Name: name, Cat: cat, Ph: "i",
-		Ts: ts * 1e6, Pid: pid, Tid: tid, S: "t", Args: args,
+		Ts: ts * 1e6, Pid: pid, Tid: tid, S: scope, Args: args,
 	})
 }
 
@@ -113,6 +131,30 @@ func (t *Tracer) Events() []Event {
 	}
 	out := append([]Event(nil), t.events...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	return out
+}
+
+// PidNames returns a copy of the process-lane labels (pid -> name).
+func (t *Tracer) PidNames() map[int]string {
+	out := map[int]string{}
+	if t == nil {
+		return out
+	}
+	for pid, name := range t.pids {
+		out[pid] = name
+	}
+	return out
+}
+
+// LaneNames returns a copy of the thread-lane labels ((pid, tid) -> name).
+func (t *Tracer) LaneNames() map[[2]int]string {
+	out := map[[2]int]string{}
+	if t == nil {
+		return out
+	}
+	for key, name := range t.names {
+		out[key] = name
+	}
 	return out
 }
 
@@ -170,13 +212,22 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			fmt.Sprint(all[j]["pid"], all[j]["tid"], all[j]["name"])
 	})
 	enc := json.NewEncoder(w)
+	// Span names may legitimately contain < and > (e.g. "nvlink->3"); keep
+	// them byte-identical through a JSON round trip instead of > escapes.
+	enc.SetEscapeHTML(false)
 	return enc.Encode(all)
 }
 
-// Summary aggregates total span time per (category, name), useful for
-// programmatic breakdowns and tests.
-func (t *Tracer) Summary() map[string]float64 {
-	out := map[string]float64{}
+// SpanStat aggregates the complete spans of one (category, name) key.
+type SpanStat struct {
+	Dur   float64 // total duration, microseconds
+	Count int     // number of spans
+}
+
+// Summary aggregates span time and span counts per (category, name), useful
+// for programmatic breakdowns and tests.
+func (t *Tracer) Summary() map[string]SpanStat {
+	out := map[string]SpanStat{}
 	if t == nil {
 		return out
 	}
@@ -184,7 +235,10 @@ func (t *Tracer) Summary() map[string]float64 {
 		if e.Ph != "X" {
 			continue
 		}
-		out[e.Cat+"/"+e.Name] += e.Dur
+		s := out[e.Cat+"/"+e.Name]
+		s.Dur += e.Dur
+		s.Count++
+		out[e.Cat+"/"+e.Name] = s
 	}
 	return out
 }

@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
 	"strings"
 	"testing"
 )
@@ -34,8 +36,11 @@ func TestEventsSortedAndSummed(t *testing.T) {
 		t.Fatalf("events %+v", ev)
 	}
 	sum := tr.Summary()
-	if sum["kernel/a"] != 1.5e6 || sum["kernel/b"] != 1e6 {
+	if sum["kernel/a"].Dur != 1.5e6 || sum["kernel/b"].Dur != 1e6 {
 		t.Fatalf("summary %v", sum)
+	}
+	if sum["kernel/a"].Count != 2 || sum["kernel/b"].Count != 1 {
+		t.Fatalf("summary counts %v", sum)
 	}
 }
 
@@ -119,7 +124,7 @@ func TestCounterJSONShape(t *testing.T) {
 
 func TestInstantJSONShape(t *testing.T) {
 	tr := New()
-	tr.Instant("shed", "serve", 0, 4, 0.002, map[string]string{"node": "17"})
+	tr.Instant("shed", "serve", 0, 4, 0.002, "", map[string]string{"node": "17"})
 	var buf bytes.Buffer
 	if err := tr.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -141,7 +146,7 @@ func TestInstantJSONShape(t *testing.T) {
 func TestCounterAndInstantInertOnNil(t *testing.T) {
 	var tr *Tracer
 	tr.Counter("c", 0, 0, map[string]float64{"v": 1})
-	tr.Instant("i", "cat", 0, 0, 0, nil)
+	tr.Instant("i", "cat", 0, 0, 0, "t", nil)
 	if tr.Len() != 0 {
 		t.Fatal("nil tracer recorded events")
 	}
@@ -151,9 +156,79 @@ func TestSummaryIgnoresNonSpans(t *testing.T) {
 	tr := New()
 	tr.Complete("k", "kernel", 0, 1, 0, 1, nil)
 	tr.Counter("depth", 0, 0.5, map[string]float64{"q": 2})
-	tr.Instant("mark", "kernel", 0, 1, 0.5, nil)
+	tr.Instant("mark", "kernel", 0, 1, 0.5, "t", nil)
 	sum := tr.Summary()
-	if len(sum) != 1 || sum["kernel/k"] != 1e6 {
+	if len(sum) != 1 || sum["kernel/k"].Dur != 1e6 || sum["kernel/k"].Count != 1 {
 		t.Fatalf("summary %v", sum)
+	}
+}
+
+func TestInstantScopeParameter(t *testing.T) {
+	tr := New()
+	tr.Instant("crash", "fault", 2, 20, 0.001, "p", nil)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if parsed[0]["s"] != "p" {
+		t.Fatalf("instant scope %v", parsed[0])
+	}
+}
+
+// goldenTracer builds the fixed tracer behind the golden-file test: a bit of
+// everything, including span names with <, > and & that must survive the
+// round trip un-escaped.
+func goldenTracer() *Tracer {
+	tr := New()
+	tr.NamePid(0, "GPU 0")
+	tr.NamePid(1, "GPU 1")
+	tr.NameLane(0, LaneKernels, "kernels")
+	tr.NameLane(0, LaneNVLink, "nvlink")
+	tr.NameLane(1, LaneKernels, "kernels")
+	tr.Complete("sample", "kernel", 0, LaneKernels, 0, 0.001, map[string]string{"items": "64"})
+	tr.Complete("nvlink->1", "comm", 0, LaneNVLink, 0.0005, 0.002, map[string]string{"bytes": "4096"})
+	tr.Complete("compute", "kernel", 1, LaneKernels, 0.001, 0.004, nil)
+	tr.Complete("a<b>&c", "kernel", 1, LaneKernels, 0.004, 0.005, nil)
+	tr.Counter("queue-depth", 0, 0.002, map[string]float64{"gpu0": 2, "gpu1": 0})
+	tr.Instant("shed", "serve", 1, 4, 0.003, "g", map[string]string{"node": "7"})
+	return tr
+}
+
+// TestWriteJSONGolden pins WriteJSON's byte-exact output: two builds must be
+// identical, and both must match the committed golden file. Regenerate with
+//
+//	go test ./internal/trace -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestWriteJSONGolden(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenTracer().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenTracer().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteJSON not deterministic across runs")
+	}
+	const golden = "testdata/golden_trace.json"
+	if *update {
+		if err := os.WriteFile(golden, a.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), want) {
+		t.Fatalf("WriteJSON drifted from %s:\ngot  %s\nwant %s", golden, a.Bytes(), want)
+	}
+	if !strings.Contains(a.String(), "a<b>&c") {
+		t.Fatal("HTML characters escaped in span name")
 	}
 }

@@ -1,0 +1,162 @@
+package train
+
+import (
+	"repro/internal/cache"
+	"repro/internal/comm"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/prof"
+	"repro/internal/trace"
+)
+
+// ReportInput collects everything a training CLI knows about a finished run;
+// BuildRunReport renders it into the canonical prof.RunReport document.
+type ReportInput struct {
+	Command string // emitting binary, e.g. "dsptrain"
+	System  string // system under test, e.g. "DSP"
+	Dataset string
+	GPUs    int
+	Seed    uint64
+	Shrink  int
+
+	CachePolicy cache.Policy
+	Epochs      []EpochStats
+	// ValAcc carries the per-epoch validation accuracies the driver measured
+	// (indexed like Epochs; shorter is fine).
+	ValAcc []float64
+	// FT is the fault-tolerant driver's report, when that path ran.
+	FT *FTReport
+	// Tracer, when enabled, contributes the trace-derived pipeline profile.
+	Tracer *trace.Tracer
+	// Compression is the merged codec accounting of the run's communicators
+	// (see core.DSP.Compression).
+	Compression map[hw.TrafficClass]comm.CompressionStats
+}
+
+// BuildRunReport renders a training run into the versioned RunReport schema.
+// Deterministic: same stats in, same report out.
+func BuildRunReport(in ReportInput) *prof.RunReport {
+	r := prof.New(in.Command)
+	r.System = in.System
+	r.Dataset = in.Dataset
+	r.GPUs = in.GPUs
+	r.Seed = in.Seed
+	r.Shrink = in.Shrink
+
+	sampleDist, loadDist, trainDist := metrics.New(), metrics.New(), metrics.New()
+	var cacheLocal, cachePeer, cacheHost, promoted, moved int64
+	var rebalances int
+	var rebalanceTime float64
+	var cum float64
+	for i, st := range in.Epochs {
+		cum += float64(st.EpochTime)
+		er := prof.EpochReport{
+			Epoch:       st.Epoch,
+			Time:        float64(st.EpochTime),
+			Acc:         st.Acc(),
+			SampleStage: float64(st.SampleStage),
+			LoadStage:   float64(st.LoadStage),
+			TrainStage:  float64(st.TrainStage),
+		}
+		if i < len(in.ValAcc) {
+			er.ValAcc = in.ValAcc[i]
+		}
+		r.Epochs = append(r.Epochs, er)
+		r.Wire.Sample += st.SampleWire
+		r.Wire.Feature += st.FeatureWire
+		r.Wire.Grad += st.GradWire
+		r.Wire.Inter += st.InterWire
+		if st.SampleDist != nil {
+			sampleDist.Merge(st.SampleDist)
+		}
+		if st.LoadDist != nil {
+			loadDist.Merge(st.LoadDist)
+		}
+		if st.TrainDist != nil {
+			trainDist.Merge(st.TrainDist)
+		}
+		cacheLocal += st.CacheLocal
+		cachePeer += st.CachePeer
+		cacheHost += st.CacheHost
+		promoted += st.CachePromoted
+		moved += st.RebalanceBytes
+		if st.RebalanceTime > 0 {
+			rebalances++
+		}
+		rebalanceTime += float64(st.RebalanceTime)
+	}
+	r.WallTime = cum
+	if len(in.Epochs) > 0 {
+		last := in.Epochs[len(in.Epochs)-1]
+		r.Utilization = append([]float64(nil), last.Utilization...)
+		var stages map[string]float64
+		for _, st := range in.Epochs {
+			if stages == nil {
+				stages = map[string]float64{}
+			}
+			stages["sample"] += float64(st.SampleStage)
+			stages["load"] += float64(st.LoadStage)
+			stages["train"] += float64(st.TrainStage)
+		}
+		r.Stages = stages
+	}
+	if s := prof.Latency(sampleDist); s != nil {
+		if r.StageLatency == nil {
+			r.StageLatency = map[string]*prof.LatencySummary{}
+		}
+		r.StageLatency["sample"] = s
+	}
+	if s := prof.Latency(loadDist); s != nil {
+		if r.StageLatency == nil {
+			r.StageLatency = map[string]*prof.LatencySummary{}
+		}
+		r.StageLatency["load"] = s
+	}
+	if s := prof.Latency(trainDist); s != nil {
+		if r.StageLatency == nil {
+			r.StageLatency = map[string]*prof.LatencySummary{}
+		}
+		r.StageLatency["train"] = s
+	}
+	if total := cacheLocal + cachePeer + cacheHost; total > 0 {
+		r.Cache = &prof.CacheReport{
+			Policy:        in.CachePolicy.String(),
+			Local:         cacheLocal,
+			Peer:          cachePeer,
+			Host:          cacheHost,
+			HitRate:       float64(cacheLocal+cachePeer) / float64(total),
+			Promoted:      promoted,
+			MovedBytes:    moved,
+			Rebalances:    rebalances,
+			RebalanceTime: rebalanceTime,
+		}
+	}
+	for class, cs := range in.Compression {
+		if cs.Raw == 0 && cs.Wire == 0 {
+			continue
+		}
+		if r.Compression == nil {
+			r.Compression = map[string]prof.WireStat{}
+		}
+		r.Compression[class.String()] = prof.WireStat{Raw: cs.Raw, Wire: cs.Wire}
+	}
+	if ft := in.FT; ft != nil {
+		r.WallTime = float64(ft.TotalTime)
+		fr := &prof.FaultReport{
+			MeanMTTR:        float64(ft.MTTR()),
+			Checkpoints:     ft.Ckpt.Checkpoints,
+			CkptBytes:       ft.Ckpt.Bytes,
+			CkptOverheadPct: ft.Ckpt.OverheadPercent(ft.TotalTime),
+		}
+		for _, rec := range ft.Recoveries {
+			fr.Recoveries = append(fr.Recoveries, prof.RecoveryReport{
+				GPU: rec.GPU, At: float64(rec.CrashAt), MTTR: float64(rec.MTTR),
+			})
+		}
+		r.Faults = fr
+	}
+	if in.Tracer.Enabled() {
+		r.Profile = prof.Analyze(prof.FromTracer(in.Tracer))
+	}
+	return r
+}

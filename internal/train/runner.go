@@ -143,25 +143,28 @@ func withStageTiming(s pipeline.Stages, st *EpochStats) pipeline.Stages {
 	return s
 }
 
-// withTraceSpans records one span per worker stage per step.
+// withTraceSpans records one span per worker stage per step and arms the
+// pipeline's queue-wait stall tracing on the same lanes.
 func withTraceSpans(s pipeline.Stages, tr *trace.Tracer, rank int) pipeline.Stages {
+	s.Tracer = tr
+	s.Pid = rank
 	sample, load, train := s.Sample, s.Load, s.Train
 	s.Sample = func(p *sim.Proc, step int) interface{} {
 		t0 := p.Now()
 		v := sample(p, step)
-		tr.Complete(fmt.Sprintf("sample step %d", step), "stage", rank, 10, float64(t0), float64(p.Now()), nil)
+		tr.Complete(fmt.Sprintf("sample step %d", step), "stage", rank, trace.LaneSampler, float64(t0), float64(p.Now()), nil)
 		return v
 	}
 	s.Load = func(p *sim.Proc, step int, v interface{}) interface{} {
 		t0 := p.Now()
 		out := load(p, step, v)
-		tr.Complete(fmt.Sprintf("load step %d", step), "stage", rank, 11, float64(t0), float64(p.Now()), nil)
+		tr.Complete(fmt.Sprintf("load step %d", step), "stage", rank, trace.LaneLoader, float64(t0), float64(p.Now()), nil)
 		return out
 	}
 	s.Train = func(p *sim.Proc, step int, v interface{}) {
 		t0 := p.Now()
 		train(p, step, v)
-		tr.Complete(fmt.Sprintf("train step %d", step), "stage", rank, 12, float64(t0), float64(p.Now()), nil)
+		tr.Complete(fmt.Sprintf("train step %d", step), "stage", rank, trace.LaneTrainer, float64(t0), float64(p.Now()), nil)
 	}
 	return s
 }

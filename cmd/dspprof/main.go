@@ -144,6 +144,31 @@ func cmdSummary(args []string) error {
 		if r.Serving != nil {
 			fmt.Printf("serving: throughput %.0f req/s  shed %.1f%%  rounds %d\n",
 				r.Serving.Throughput, 100*r.Serving.ShedRate, r.Serving.Rounds)
+			if g := r.Serving.Goodput; g != nil {
+				fmt.Printf("goodput: %d/%d within %.4gms SLO (%.1f%%)  %.0f good req/s\n",
+					g.Good, g.Total, 1e3*g.SLO, 100*g.Fraction, g.Rate)
+			}
+			for _, tc := range r.Serving.Tenants {
+				fmt.Printf("tenant %-10s admitted %d  rejected %d\n", tc.Name, tc.Admitted, tc.Rejected)
+			}
+		}
+		if f := r.Fleet; f != nil {
+			fmt.Printf("fleet router: %s policy, %d built, %d active at end, %d rerouted\n",
+				f.Policy, f.Built, f.Active, f.Rerouted)
+			if len(f.DeadFleets) > 0 {
+				fmt.Printf("dead fleets: %v\n", f.DeadFleets)
+			}
+			for _, e := range f.PerFleet {
+				fmt.Printf("  fleet%d %-8s routed %-6d completed %-6d p99 %.4gms",
+					e.ID, e.State, e.Routed, e.Completed, 1e3*e.P99)
+				if e.Rerouted > 0 || e.Lost > 0 {
+					fmt.Printf("  rerouted %d  lost %d", e.Rerouted, e.Lost)
+				}
+				fmt.Println()
+			}
+			for _, e := range f.Scale {
+				fmt.Printf("  scale %.4gs %s fleet%d (p99 %.4gms)\n", e.At, e.Action, e.Fleet, 1e3*e.P99)
+			}
 		}
 		if r.Faults != nil {
 			fmt.Printf("faults: %d recoveries, mean MTTR %.4gms\n",

@@ -16,6 +16,16 @@
 //
 //	dspserve -duration 0.5 -faults 'crash@gpu2:t=0.2'
 //	dspserve -faults 'linkdown@gpu0-gpu1:t=0.1+50ms,stall@gpu3:t=0.3+20ms'
+//
+// Replicated serving: -fleets N puts a router in front of N full replicas
+// sharing one virtual clock, with -router picking the dispatch policy,
+// -tenants adding token-bucket admission quotas, -slo goodput accounting and
+// -autoscale SLO-band scaling. The -faults grammar becomes fleet-scoped.
+//
+//	dspserve -fleets 3 -router least-loaded -slo 0.005
+//	dspserve -fleets 3 -faults 'crash@fleet1:t=0.2' -slo 0.005
+//	dspserve -fleets 1 -autoscale 1:4 -slo 0.005 -rate 40000
+//	dspserve -fleets 2 -tenants 'free:4:500,pro:1'
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"repro/internal/cliopts"
 	"repro/internal/compress"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/gen"
 	"repro/internal/graphio"
 	"repro/internal/serve"
@@ -55,6 +66,7 @@ func main() {
 		traceTo  = flag.String("trace", "", "write a Chrome trace of the run to this file")
 	)
 	common := cliopts.Register(flag.CommandLine)
+	fleetOpts := cliopts.RegisterFleet(flag.CommandLine)
 	flag.Parse()
 
 	var td *train.Data
@@ -82,20 +94,52 @@ func main() {
 		td.GPUMemBytes = std.GPUMemBytes()
 	}
 
-	faults, err := common.FaultSchedule(*gpus)
+	fleetMode := fleetOpts.FleetMode()
+	routerPolicy, err := fleetOpts.Policy()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
 		os.Exit(2)
 	}
-	crashed := map[int]bool{}
-	for _, f := range faults {
-		if f.Kind == fault.Crash {
-			crashed[f.GPU] = true
-		}
-	}
-	if len(crashed) >= *gpus {
-		fmt.Fprintf(os.Stderr, "dspserve: fault schedule crashes all %d GPUs; at least one must survive\n", *gpus)
+	autoscale, err := fleetOpts.Autoscale()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
 		os.Exit(2)
+	}
+	tenants, err := fleetOpts.Tenants()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+		os.Exit(2)
+	}
+
+	built := fleetOpts.N()
+	if autoscale.Max > built {
+		built = autoscale.Max
+	}
+	var faults []fault.Fault
+	var fleetFaults []fault.FleetFault
+	if fleetMode {
+		// With a router in front, -faults speaks the fleet-scoped grammar.
+		fleetFaults, err = common.FleetFaultSchedule(built, *gpus)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		faults, err = common.FaultSchedule(*gpus)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(2)
+		}
+		crashed := map[int]bool{}
+		for _, f := range faults {
+			if f.Kind == fault.Crash {
+				crashed[f.GPU] = true
+			}
+		}
+		if len(crashed) >= *gpus {
+			fmt.Fprintf(os.Stderr, "dspserve: fault schedule crashes all %d GPUs; at least one must survive\n", *gpus)
+			os.Exit(2)
+		}
 	}
 
 	var batching serve.Batching
@@ -143,7 +187,44 @@ func main() {
 		DriftEvery:         sim.Time(*drift),
 		FeatCodec:          featCodec,
 		Faults:             faults,
+		Tenants:            tenants,
+		SLO:                fleetOpts.SLO(),
 	}
+
+	if fleetMode {
+		if *traceTo != "" {
+			fmt.Fprintf(os.Stderr, "dspserve: -trace is not supported with a fleet router (per-request spans would interleave %d replicas)\n", built)
+			os.Exit(2)
+		}
+		router, err := fleet.NewRouter(fleet.Config{
+			Serve:     cfg,
+			Fleets:    fleetOpts.N(),
+			Policy:    routerPolicy,
+			Autoscale: autoscale,
+			Faults:    fleetFaults,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("serving %s on %d fleets x %d GPUs: %s routing, %s batching, %.0f req/s for %.2fs...\n",
+			td.Name, built, *gpus, routerPolicy, batching, *rate, *duration)
+		rep, err := router.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		if err := common.WriteReport(rep.RunReport(serve.ReportMeta{
+			Dataset: td.Name, GPUs: built * *gpus, Seed: *seed,
+			Shrink: reportShrink(*dataIn, *shrink),
+		})); err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	// -report profiles the run from trace events, so it records an
 	// in-memory trace even when -trace was not requested.
 	if *traceTo != "" || common.ReportPath() != "" {

@@ -315,6 +315,7 @@ var Experiments = map[string]func(w io.Writer, cfg RunConfig) error{
 	"serve-load":        runnerFor(ServeLoad),
 	"fault-sweep":       runnerFor(FaultSweep),
 	"cache-sweep":       runnerFor(CacheSweep),
+	"router-sweep":      runnerFor(RouterSweep),
 	"compress-sweep":    runnerFor(CompressSweep),
 	"perf":              Perf,
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"testing"
 )
@@ -471,6 +472,31 @@ func TestCacheSweepOrdering(t *testing.T) {
 	for _, pol := range []string{"lfu-decay", "degree-hybrid"} {
 		if tab.Get(pol, "migrated MB") <= 0 {
 			t.Errorf("%s migrated nothing", pol)
+		}
+	}
+}
+
+func TestRouterSweepOrdering(t *testing.T) {
+	tab, err := RouterSweep(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	t.Logf("\n%s", buf.String())
+	for _, n := range routerFleetCounts {
+		p99 := fmt.Sprintf("%d-fleet p99", n)
+		rr := tab.Get("round-robin", p99)
+		ll := tab.Get("least-loaded", p99)
+		// With a stalling straggler in the replica set, sensing queue depth
+		// must beat blind rotation at the tail.
+		if !(ll < rr) {
+			t.Errorf("%d fleets: least-loaded p99 %.3fms not better than round-robin %.3fms", n, ll, rr)
+		}
+		for _, row := range tab.Rows {
+			if tab.Get(row, fmt.Sprintf("%d-fleet good/s", n)) <= 0 {
+				t.Errorf("%s, %d fleets: no goodput", row, n)
+			}
 		}
 	}
 }

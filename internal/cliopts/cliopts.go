@@ -7,11 +7,16 @@ package cliopts
 import (
 	"flag"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/compress"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/prof"
+	"repro/internal/serve"
+	"repro/internal/sim"
 )
 
 // Common holds the flag values shared by every binary that drives the
@@ -77,6 +82,80 @@ func (c *Common) GradCodec(seed uint64) (compress.Codec, error) {
 		return nil, nil
 	}
 	return compress.Parse(*c.compressGrad, seed)
+}
+
+// Fleet holds the replicated-serving flag values (dspserve only): fleet
+// count, routing policy, tenant quotas, latency SLO and autoscale bounds.
+type Fleet struct {
+	fleets    *int
+	router    *string
+	tenants   *string
+	slo       *float64
+	autoscale *string
+}
+
+// RegisterFleet installs the replicated-serving flags on fs.
+func RegisterFleet(fs *flag.FlagSet) *Fleet {
+	f := &Fleet{}
+	f.fleets = fs.Int("fleets", 1,
+		"replicated serving fleets behind the router (1 = no router)")
+	f.router = fs.String("router", "round-robin",
+		"routing policy: round-robin, least-loaded, latency-aware, shard-affinity")
+	f.tenants = fs.String("tenants", "",
+		"tenant spec 'name:weight[:rate[:burst]],...', e.g. 'free:4:500,pro:1'")
+	f.slo = fs.Float64("slo", 0,
+		"end-to-end latency SLO in virtual seconds (enables goodput accounting; 0 = none)")
+	f.autoscale = fs.String("autoscale", "",
+		"autoscale active fleets between 'min:max' on the SLO bands (empty = static fleet set)")
+	return f
+}
+
+// N returns the -fleets count.
+func (f *Fleet) N() int { return *f.fleets }
+
+// Policy resolves the -router flag.
+func (f *Fleet) Policy() (fleet.Policy, error) {
+	return fleet.ParsePolicy(*f.router)
+}
+
+// Tenants resolves the -tenants spec.
+func (f *Fleet) Tenants() ([]serve.TenantSpec, error) {
+	return serve.ParseTenants(*f.tenants)
+}
+
+// SLO returns the -slo objective.
+func (f *Fleet) SLO() sim.Time { return sim.Time(*f.slo) }
+
+// Autoscale resolves the -autoscale 'min:max' bounds (zero value = disabled).
+func (f *Fleet) Autoscale() (fleet.Autoscale, error) {
+	spec := strings.TrimSpace(*f.autoscale)
+	if spec == "" {
+		return fleet.Autoscale{}, nil
+	}
+	lo, hi, ok := strings.Cut(spec, ":")
+	var as fleet.Autoscale
+	var err error
+	if as.Min, err = strconv.Atoi(lo); err == nil && ok {
+		as.Max, err = strconv.Atoi(hi)
+	}
+	if err != nil || !ok || as.Min < 1 || as.Max < as.Min {
+		return fleet.Autoscale{}, fmt.Errorf("cliopts: bad -autoscale %q (want 'min:max' with 1 <= min <= max)", spec)
+	}
+	return as, nil
+}
+
+// FleetMode reports whether the run needs the router: more than one fleet or
+// autoscaling headroom.
+func (f *Fleet) FleetMode() bool {
+	as, err := f.Autoscale()
+	return *f.fleets > 1 || (err == nil && as.Max > 1)
+}
+
+// FleetFaultSchedule parses the -faults spec in the fleet-scoped grammar
+// (crash@fleetF, stall@fleetF/gpuN, ...) against the built fleet count and
+// per-fleet GPU count.
+func (c *Common) FleetFaultSchedule(nFleet, gpusPer int) ([]fault.FleetFault, error) {
+	return fault.ParseFleetSpec(*c.faults, nFleet, gpusPer)
 }
 
 // ReportPath returns the -report destination (empty = no report requested).

@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FleetFault is one scheduled fault in a replicated-fleet serving run. It is
+// either a whole-fleet crash (the entire replica drains and its traffic
+// re-routes) or an ordinary GPU/link fault scoped to one fleet's machine.
+type FleetFault struct {
+	// Fleet is the target fleet id.
+	Fleet int
+	// Whole marks a whole-fleet crash: Fault carries only Kind (Crash) and At.
+	Whole bool
+	// Fault is the scoped fault, with GPU ids local to the fleet's machine.
+	Fault Fault
+}
+
+// String renders the fault in the grammar accepted by ParseFleetSpec.
+func (f FleetFault) String() string {
+	if f.Whole {
+		return fmt.Sprintf("crash@fleet%d:t=%g", f.Fleet, float64(f.Fault.At))
+	}
+	// Re-scope the inner fault's rendering under the fleet prefix.
+	inner := f.Fault.String()
+	return strings.Replace(inner, "@gpu", fmt.Sprintf("@fleet%d/gpu", f.Fleet), 1)
+}
+
+// ParseFleetSpec parses a comma-separated fleet-scoped fault schedule, e.g.
+//
+//	crash@fleet1:t=0.2                       whole-fleet crash
+//	stall@fleet0/gpu1:t=0.1+50ms             straggler inside fleet 0
+//	linkdown@fleet2/gpu0-gpu1:t=0.3+10ms     link outage inside fleet 2
+//
+// Grammar per entry: kind@fleetF[/target]:clauses, where a bare fleetF target
+// is only valid for crash (a whole-fleet death) and a /target suffix scopes
+// the ordinary ParseSpec grammar to that fleet's machine. nFleet bounds the
+// valid fleet ids and gpusPer the per-fleet GPU ids.
+func ParseFleetSpec(spec string, nFleet, gpusPer int) ([]FleetFault, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []FleetFault
+	for _, entry := range strings.Split(spec, ",") {
+		f, err := parseFleetEntry(strings.TrimSpace(entry), nFleet, gpusPer)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad fleet entry %q: %w", entry, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseFleetEntry(s string, nFleet, gpusPer int) (FleetFault, error) {
+	var ff FleetFault
+	kind, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return ff, fmt.Errorf("missing '@fleetF' target")
+	}
+	if !strings.HasPrefix(rest, "fleet") {
+		return ff, fmt.Errorf("target must start with fleetF, got %q", rest)
+	}
+	rest = rest[len("fleet"):]
+	// Fleet id runs up to the first '/' (scoped) or ':' (whole-fleet).
+	idEnd := strings.IndexAny(rest, "/:")
+	if idEnd < 0 {
+		return ff, fmt.Errorf("missing ':t=' clause")
+	}
+	id, err := strconv.Atoi(rest[:idEnd])
+	if err != nil || id < 0 {
+		return ff, fmt.Errorf("bad fleet id %q", rest[:idEnd])
+	}
+	if nFleet > 0 && id >= nFleet {
+		return ff, fmt.Errorf("fleet%d out of range (router has %d fleets)", id, nFleet)
+	}
+	ff.Fleet = id
+	if rest[idEnd] == ':' {
+		// Whole-fleet fault: only crash makes sense (a fleet has no single
+		// link to down or thread pool to stall).
+		if kind != "crash" {
+			return ff, fmt.Errorf("whole-fleet faults must be crash; scope %s to a GPU with fleet%d/gpuN", kind, id)
+		}
+		ff.Whole = true
+		inner, err := parseEntry("crash@gpu0"+rest[idEnd:], 1)
+		if err != nil {
+			return ff, err
+		}
+		inner.GPU = 0
+		ff.Fault = inner
+		return ff, nil
+	}
+	// Scoped fault: everything after "fleetF/" is the ordinary grammar.
+	inner, err := parseEntry(kind+"@"+rest[idEnd+1:], gpusPer)
+	if err != nil {
+		return ff, err
+	}
+	ff.Fault = inner
+	return ff, nil
+}
+
+// SortFleet orders a fleet schedule by injection time (stable).
+func SortFleet(faults []FleetFault) {
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].Fault.At < faults[j].Fault.At })
+}
+
+// SplitFleet separates a schedule into the whole-fleet crashes (handled by
+// the router) and the per-fleet scoped schedules (handed to each fleet's own
+// injector). nFleet sizes the per-fleet slice.
+func SplitFleet(faults []FleetFault, nFleet int) (whole []FleetFault, scoped [][]Fault) {
+	scoped = make([][]Fault, nFleet)
+	for _, f := range faults {
+		if f.Whole {
+			whole = append(whole, f)
+			continue
+		}
+		scoped[f.Fleet] = append(scoped[f.Fleet], f.Fault)
+	}
+	SortFleet(whole)
+	return whole, scoped
+}

@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFleetSpec(t *testing.T) {
+	spec := "crash@fleet1:t=0.2,stall@fleet0/gpu1:t=0.1+50ms,linkdown@fleet2/gpu0-gpu1:t=0.3+10ms"
+	ffs, err := ParseFleetSpec(spec, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ffs) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(ffs))
+	}
+	if !ffs[0].Whole || ffs[0].Fleet != 1 || ffs[0].Fault.Kind != Crash || ffs[0].Fault.At != 0.2 {
+		t.Fatalf("whole-fleet crash mis-parsed: %+v", ffs[0])
+	}
+	if ffs[1].Whole || ffs[1].Fleet != 0 || ffs[1].Fault.Kind != Stall ||
+		ffs[1].Fault.GPU != 1 || ffs[1].Fault.Duration != 50e-3 {
+		t.Fatalf("scoped stall mis-parsed: %+v", ffs[1])
+	}
+	if ffs[2].Fleet != 2 || ffs[2].Fault.Kind != LinkDown ||
+		ffs[2].Fault.GPU != 0 || ffs[2].Fault.Peer != 1 {
+		t.Fatalf("scoped linkdown mis-parsed: %+v", ffs[2])
+	}
+
+	// Round-trip through String.
+	for _, ff := range ffs {
+		again, err := ParseFleetSpec(ff.String(), 3, 4)
+		if err != nil {
+			t.Fatalf("round-trip %q: %v", ff.String(), err)
+		}
+		if len(again) != 1 || again[0] != ff {
+			t.Fatalf("round-trip %q: got %+v want %+v", ff.String(), again[0], ff)
+		}
+	}
+}
+
+func TestParseFleetSpecErrors(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"stall@fleet0:t=0.1+50ms", "whole-fleet faults must be crash"},
+		{"crash@fleet9:t=0.1", "out of range"},
+		{"crash@fleet0/gpu7:t=0.1", "out of range"},
+		{"crash@gpu0:t=0.1", "must start with fleetF"},
+		{"crash@fleet0", "missing ':t='"},
+		{"crash@fleetx:t=0.1", "bad fleet id"},
+	}
+	for _, c := range cases {
+		if _, err := ParseFleetSpec(c.spec, 3, 4); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("spec %q: error %v does not mention %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestSplitFleet(t *testing.T) {
+	ffs, err := ParseFleetSpec("stall@fleet2/gpu0:t=0.1+5ms,crash@fleet1:t=0.3,crash@fleet0:t=0.2", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, scoped := SplitFleet(ffs, 3)
+	if len(whole) != 2 || whole[0].Fleet != 0 || whole[1].Fleet != 1 {
+		t.Fatalf("whole-fleet crashes wrong or unsorted: %+v", whole)
+	}
+	if len(scoped[2]) != 1 || scoped[2][0].Kind != Stall || len(scoped[0]) != 0 || len(scoped[1]) != 0 {
+		t.Fatalf("scoped split wrong: %+v", scoped)
+	}
+}

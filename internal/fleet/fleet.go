@@ -1,0 +1,268 @@
+// Package fleet is the replicated-serving router: N independent serve.Server
+// fleets (each a full replica of the model and feature cache on its own
+// simulated machine) share one virtual clock, and a router in front of them
+// admits a single Poisson workload, applies per-tenant token-bucket quotas,
+// and dispatches each request to a fleet under a pluggable routing policy.
+// An optional autoscaler moves fleets between active/draining/standby as the
+// routed p99 crosses SLO bands, and whole-fleet crash faults drain a replica
+// mid-run with its traffic re-routed to the survivors.
+//
+// Everything is deterministic: per-fleet seeds derive from the router seed,
+// so each replica drifts through its own popularity phases while the whole
+// run stays a pure function of the Config.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// Config describes one routed serving run. Serve is the per-fleet template:
+// its Data/Rate/Duration/Skew describe the router's single arrival process,
+// and its Tenants/SLO are enforced at the router. The router owns the fields
+// a replica cannot (Engine, Name, External, OnComplete, Faults); setting them
+// on the template is an error.
+type Config struct {
+	Serve serve.Config
+	// Fleets is the initially active replica count (required, >= 1).
+	Fleets int
+	// Policy selects the dispatch rule.
+	Policy Policy
+	// Autoscale, when enabled, bounds the active set and scales it against
+	// the SLO bands. Standby headroom beyond Fleets is built up front (the
+	// simulation has no provisioning delay; production would warm instances).
+	Autoscale Autoscale
+	// Faults is the fleet-scoped schedule: whole-fleet crashes handled by the
+	// router plus GPU/link faults handed to each fleet's own injector.
+	Faults []fault.FleetFault
+}
+
+func (c Config) validate() (Config, error) {
+	if c.Fleets < 1 {
+		return c, fmt.Errorf("fleet: Config.Fleets must be >= 1")
+	}
+	if c.Serve.Engine != nil || c.Serve.External || c.Serve.Name != "" ||
+		c.Serve.OnComplete != nil || len(c.Serve.Faults) > 0 {
+		return c, fmt.Errorf("fleet: Serve template must leave Engine/Name/External/OnComplete/Faults to the router")
+	}
+	c.Autoscale = c.Autoscale.withDefaults(c.Serve.SLO)
+	if c.Autoscale.enabled() {
+		if c.Autoscale.Max < c.Fleets {
+			return c, fmt.Errorf("fleet: Autoscale.Max %d below initial fleet count %d", c.Autoscale.Max, c.Fleets)
+		}
+		if c.Autoscale.Min > c.Fleets {
+			return c, fmt.Errorf("fleet: Autoscale.Min %d above initial fleet count %d", c.Autoscale.Min, c.Fleets)
+		}
+	}
+	return c, nil
+}
+
+// maxFleets is the number of replicas to build (active plus standby headroom).
+func (c Config) maxFleets() int {
+	if c.Autoscale.enabled() && c.Autoscale.Max > c.Fleets {
+		return c.Autoscale.Max
+	}
+	return c.Fleets
+}
+
+// Router owns the shared engine, the replica set and all routing state.
+// Build with NewRouter, execute with Run; a Router is single-use.
+type Router struct {
+	cfg     Config
+	eng     *sim.Engine
+	servers []*serve.Server
+	state   []State
+	view    *fault.View // fleet-level membership (whole-fleet crashes)
+	whole   []fault.FleetFault
+
+	workload *serve.Workload
+	tenants  *serve.TenantTable
+
+	// win is the per-fleet latency window feeding the latency-aware policy
+	// and the autoscaler; reset every Autoscale.Period.
+	win []*metrics.Histogram
+
+	// routing state and accounting
+	rr        int
+	scratch   []int // routable() scratch buffer
+	nextID    int
+	arrived   int
+	shed      int
+	quotaRej  int
+	rerouted  int // requests rescued from dying fleets
+	routed    []int
+	rescued   []int // per-fleet: orphans rescued FROM it at its death
+	completed []int
+	scale     []ScaleEvent
+}
+
+// NewRouter builds the shared engine, all replicas (External mode, derived
+// seeds, scoped fault schedules) and the router state.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.maxFleets()
+	r := &Router{
+		cfg:       cfg,
+		eng:       sim.NewEngine(),
+		state:     make([]State, n),
+		view:      fault.NewView(n),
+		win:       make([]*metrics.Histogram, n),
+		routed:    make([]int, n),
+		rescued:   make([]int, n),
+		completed: make([]int, n),
+	}
+	whole, scoped := fault.SplitFleet(cfg.Faults, n)
+	r.whole = whole
+	for f := 0; f < n; f++ {
+		f := f
+		scfg := cfg.Serve
+		scfg.Engine = r.eng
+		scfg.Name = fmt.Sprintf("fleet%d", f)
+		scfg.External = true
+		// Independent seed stream per replica: each fleet's round seeds,
+		// model init and popularity drift are its own.
+		scfg.Seed = rng.Mix(cfg.Serve.Seed, 0xF1EE7, uint64(f))
+		// Quotas and tenant accounting live at the router, not the replicas.
+		scfg.Tenants = nil
+		// Per-request tracing across N fleets would interleave pids; the
+		// router reports aggregates instead.
+		scfg.Tracer = nil
+		scfg.Faults = scoped[f]
+		scfg.OnComplete = func(req *serve.Request) { r.onComplete(f, req) }
+		srv, err := serve.NewServer(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet %d: %w", f, err)
+		}
+		r.servers = append(r.servers, srv)
+		r.win[f] = metrics.New()
+		if f >= cfg.Fleets {
+			r.state[f] = Standby
+		}
+	}
+	// The router's own arrival process mirrors a standalone server's: same
+	// stream constants, but keyed by the router seed (distinct from every
+	// derived fleet seed).
+	r.workload = serve.NewWorkload(cfg.Serve.Data, cfg.Serve.Skew)
+	if cfg.Serve.DriftEvery > 0 {
+		r.workload.EnableDrift(cfg.Serve.DriftEvery, rng.Mix(cfg.Serve.Seed, 0xD21F7))
+	}
+	r.tenants = serve.NewTenantTable(cfg.Serve.Tenants)
+	return r, nil
+}
+
+// Servers exposes the replica set (tests inspect per-fleet state).
+func (r *Router) Servers() []*serve.Server { return r.servers }
+
+// onComplete runs in engine context at each completion: per-fleet counts and
+// the latency window the router's policies read.
+func (r *Router) onComplete(f int, req *serve.Request) {
+	r.completed[f]++
+	r.win[f].Observe(float64(req.Latency()))
+}
+
+// Run executes the routed serving simulation to completion.
+func (r *Router) Run() (*Report, error) {
+	for _, s := range r.servers {
+		s.Start()
+	}
+	r.eng.Go("router/generator", r.generate)
+	for _, ff := range r.whole {
+		ff := ff
+		// Non-daemon: the crash must fire even if traffic quiesces first.
+		r.eng.Go(fmt.Sprintf("router/fault-fleet%d", ff.Fleet), func(p *sim.Proc) {
+			p.Sleep(ff.Fault.At)
+			r.killFleet(p, ff.Fleet)
+		})
+	}
+	if r.cfg.Autoscale.enabled() {
+		r.eng.GoDaemon("router/autoscale", r.autoscaler)
+	} else if r.cfg.Policy == LatencyAware {
+		// The latency-aware score reads the same windows the autoscaler
+		// resets; without it, a lightweight resetter keeps them recent.
+		r.eng.GoDaemon("router/window", func(p *sim.Proc) {
+			for {
+				p.Sleep(Autoscale{Max: 1}.withDefaults(0).Period)
+				r.resetWindows()
+			}
+		})
+	}
+	end, err := r.eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	return r.report(end)
+}
+
+// generate is the router's open-loop arrival process: Poisson gaps at the
+// offered rate, node drawn from the router's own (drifting) popularity,
+// tenant drawn and charged against its quota, then policy dispatch.
+func (r *Router) generate(p *sim.Proc) {
+	cfg := r.cfg.Serve
+	rg := rng.New(rng.Mix(cfg.Seed, 0xA221A1))
+	tr := rng.New(rng.Mix(cfg.Seed, 0x7E4A47))
+	for {
+		p.Sleep(sim.Time(rg.Exp(cfg.Rate)))
+		if p.Now() >= cfg.Duration {
+			break
+		}
+		node := r.workload.Draw(rg, p.Now())
+		tenant := 0
+		if r.tenants != nil {
+			tenant = r.tenants.Draw(tr)
+		}
+		r.arrived++
+		if r.tenants != nil && !r.tenants.TakeToken(tenant, p.Now()) {
+			r.shed++
+			r.quotaRej++
+			r.tenants.Reject(tenant)
+			continue
+		}
+		f := r.route(node)
+		if f < 0 || !r.servers[f].Admit(p.Now(), r.nextID, node, tenant) {
+			r.shed++
+			if r.tenants != nil {
+				r.tenants.Reject(tenant)
+			}
+			continue
+		}
+		r.nextID++
+		r.routed[f]++
+		if r.tenants != nil {
+			r.tenants.Accept(tenant)
+		}
+	}
+	for _, s := range r.servers {
+		s.CloseIntake()
+	}
+}
+
+// killFleet applies a whole-fleet crash: the replica's processes die at this
+// instant, its admission-queued requests are rescued onto surviving fleets
+// (dispatched ones are lost with it), and it leaves the routable set for good.
+func (r *Router) killFleet(p *sim.Proc, f int) {
+	if r.state[f] == Dead {
+		return
+	}
+	r.state[f] = Dead
+	r.view.Kill(f)
+	orphans := r.servers[f].Shutdown(p)
+	for _, o := range orphans {
+		t := r.route(o.Node)
+		if t >= 0 && r.servers[t].Admit(p.Now(), o.ID, o.Node, o.Tenant) {
+			r.rerouted++
+			r.rescued[f]++
+			r.routed[t]++
+			continue
+		}
+		// No survivor can take it: it dies with the fleet.
+		r.shed++
+	}
+}

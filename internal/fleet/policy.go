@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Policy selects how the router picks a fleet for each admitted request.
+type Policy int
+
+const (
+	// RoundRobin rotates over the routable fleets — the baseline that ignores
+	// load and latency entirely.
+	RoundRobin Policy = iota
+	// LeastLoaded picks the routable fleet with the fewest outstanding
+	// requests (admission-queued plus dispatched-uncompleted).
+	LeastLoaded
+	// LatencyAware scores each routable fleet by its recent-window p99
+	// multiplied by (1 + outstanding) and picks the minimum — load shed away
+	// from fleets that are currently slow, not merely deep.
+	LatencyAware
+	// ShardAffinity hashes the target node over the routable fleets, so
+	// repeated requests for a node keep hitting the same replica (warm cache).
+	ShardAffinity
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case LatencyAware:
+		return "latency-aware"
+	case ShardAffinity:
+		return "shard-affinity"
+	default:
+		return "round-robin"
+	}
+}
+
+// ParsePolicy parses a routing policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "round-robin", "rr":
+		return RoundRobin, nil
+	case "least-loaded", "ll":
+		return LeastLoaded, nil
+	case "latency-aware", "la":
+		return LatencyAware, nil
+	case "shard-affinity", "affinity", "sa":
+		return ShardAffinity, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown routing policy %q (want round-robin|least-loaded|latency-aware|shard-affinity)", s)
+}
+
+// routable returns the fleets eligible for new traffic that can currently
+// admit node, in ascending id order (deterministic tie-breaking).
+func (r *Router) routable(node graph.NodeID) []int {
+	cands := r.scratch[:0]
+	for f, st := range r.state {
+		if st == Active && r.servers[f].CanAdmit(node) {
+			cands = append(cands, f)
+		}
+	}
+	r.scratch = cands
+	return cands
+}
+
+// route picks the destination fleet for node under the configured policy, or
+// -1 when no active fleet can admit it (the request is shed at the router).
+func (r *Router) route(node graph.NodeID) int {
+	cands := r.routable(node)
+	if len(cands) == 0 {
+		return -1
+	}
+	switch r.cfg.Policy {
+	case LeastLoaded:
+		best := cands[0]
+		for _, f := range cands[1:] {
+			if r.servers[f].Outstanding() < r.servers[best].Outstanding() {
+				best = f
+			}
+		}
+		return best
+	case LatencyAware:
+		best, bestScore := -1, 0.0
+		for _, f := range cands {
+			s := r.score(f)
+			if best < 0 || s < bestScore {
+				best, bestScore = f, s
+			}
+		}
+		return best
+	case ShardAffinity:
+		return cands[int(uint64(node)%uint64(len(cands)))]
+	default: // RoundRobin
+		f := cands[r.rr%len(cands)]
+		r.rr++
+		return f
+	}
+}
+
+// score is the latency-aware routing score: recent-window p99 (seconds)
+// scaled by queue depth. A fleet with no completions in the window scores by
+// depth alone at a nominal 1 ms p99, so cold fleets attract probes instead of
+// being starved forever.
+func (r *Router) score(f int) float64 {
+	p99 := 1e-3
+	if h := r.win[f]; h.Count() > 0 {
+		p99 = h.P99()
+	}
+	return p99 * float64(1+r.servers[f].Outstanding())
+}

@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/prof"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// Report summarises one routed run: router-level admission and dispatch
+// outcomes plus every replica's own serve.Report. Deterministic: same Config
+// → bitwise-identical report.
+type Report struct {
+	Policy   Policy
+	Horizon  sim.Time
+	Makespan sim.Time
+	Offered  float64
+	// Throughput is completions across all fleets over the makespan.
+	Throughput float64
+
+	// Router admission accounting. Arrived = Completed-sum + Shed + Lost-sum:
+	// every arrival is either turned away at the router (quota, no admitting
+	// fleet, un-rescuable orphan — all in Shed), completed by some fleet, or
+	// lost inside a crashed fleet's pipeline.
+	Arrived       int
+	Shed          int
+	QuotaRejected int
+	// Rerouted counts requests rescued from dying fleets onto survivors.
+	Rerouted int
+	Tenants  []serve.TenantCount
+
+	// Latency and Goodput merge every fleet's distributions (Goodput nil
+	// without an SLO).
+	Latency *metrics.Histogram
+	Goodput *metrics.Goodput
+	SLO     sim.Time
+
+	Fleets []FleetStat
+	Scale  []ScaleEvent
+	// PerFleet holds each replica's full report, indexed by fleet id.
+	PerFleet []*serve.Report
+}
+
+// FleetStat is one replica's outcome under the router.
+type FleetStat struct {
+	ID    int
+	State State
+	// Routed counts requests dispatched here (including rescues routed in);
+	// Completed the ones it answered.
+	Routed    int
+	Completed int
+	// Rerouted counts requests rescued FROM this fleet: orphans re-homed at
+	// its death plus its own intra-fleet reroutes off dead GPUs. Lost counts
+	// dispatched requests it never answered.
+	Rerouted int
+	Lost     int
+	P99      sim.Time
+	DeadGPUs []int
+}
+
+func (r *Router) report(end sim.Time) (*Report, error) {
+	rep := &Report{
+		Policy:        r.cfg.Policy,
+		Horizon:       r.cfg.Serve.Duration,
+		Makespan:      end,
+		Offered:       r.cfg.Serve.Rate,
+		Arrived:       r.arrived,
+		Shed:          r.shed,
+		QuotaRejected: r.quotaRej,
+		Rerouted:      r.rerouted,
+		Tenants:       r.tenants.Counts(),
+		Latency:       metrics.New(),
+		SLO:           r.cfg.Serve.SLO,
+		Scale:         append([]ScaleEvent(nil), r.scale...),
+	}
+	total := 0
+	for f, s := range r.servers {
+		fr, err := s.Finish(end)
+		if err != nil {
+			return nil, fmt.Errorf("fleet %d: %w", f, err)
+		}
+		rep.PerFleet = append(rep.PerFleet, fr)
+		rep.Latency.Merge(fr.Latency)
+		if fr.Goodput != nil {
+			if rep.Goodput == nil {
+				rep.Goodput = metrics.NewGoodput(fr.Goodput.Window(), fr.Goodput.SLO())
+			}
+			rep.Goodput.Merge(fr.Goodput)
+		}
+		total += fr.Completed
+		st := FleetStat{
+			ID:        f,
+			State:     r.state[f],
+			Routed:    r.routed[f],
+			Completed: fr.Completed,
+			Rerouted:  r.rescued[f] + fr.Rerouted,
+			Lost:      fr.Lost,
+			DeadGPUs:  append([]int(nil), fr.DeadGPUs...),
+		}
+		if fr.Latency.Count() > 0 {
+			st.P99 = sim.Time(fr.Latency.P99())
+		}
+		rep.Fleets = append(rep.Fleets, st)
+	}
+	if end > 0 {
+		rep.Throughput = float64(total) / float64(end)
+	}
+	return rep, nil
+}
+
+// Completed sums completions across fleets.
+func (r *Report) Completed() int {
+	n := 0
+	for _, f := range r.Fleets {
+		n += f.Completed
+	}
+	return n
+}
+
+// Lost sums dispatched-but-never-answered requests across fleets.
+func (r *Report) Lost() int {
+	n := 0
+	for _, f := range r.Fleets {
+		n += f.Lost
+	}
+	return n
+}
+
+// ShedRate is the fraction of arrivals turned away at the router.
+func (r *Report) ShedRate() float64 {
+	if r.Arrived == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Arrived)
+}
+
+// DeadFleets lists fleets killed by whole-fleet faults, ascending.
+func (r *Report) DeadFleets() []int {
+	var out []int
+	for _, f := range r.Fleets {
+		if f.State == Dead {
+			out = append(out, f.ID)
+		}
+	}
+	return out
+}
+
+// String renders the operator-facing summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "router %s  fleets %d  horizon %.2fs  makespan %.2fs  offered %.0f req/s\n",
+		r.Policy, len(r.Fleets), float64(r.Horizon), float64(r.Makespan), r.Offered)
+	fmt.Fprintf(&b, "arrived %d  completed %d  shed %d (%.1f%%)  rerouted %d  lost %d\n",
+		r.Arrived, r.Completed(), r.Shed, 100*r.ShedRate(), r.Rerouted, r.Lost())
+	fmt.Fprintf(&b, "throughput %.0f req/s\n", r.Throughput)
+	fmt.Fprintf(&b, "latency  p50 %.3fms  p95 %.3fms  p99 %.3fms  mean %.3fms",
+		1e3*r.Latency.P50(), 1e3*r.Latency.P95(), 1e3*r.Latency.P99(), 1e3*r.Latency.Mean())
+	if r.Goodput != nil {
+		fmt.Fprintf(&b, "\ngoodput  %d/%d within %.1fms SLO (%.1f%%)  %.0f good req/s",
+			r.Goodput.Good(), r.Goodput.Total(), 1e3*float64(r.SLO),
+			100*r.Goodput.GoodFraction(), r.Goodput.Rate())
+	}
+	for _, tc := range r.Tenants {
+		fmt.Fprintf(&b, "\ntenant %-10s admitted %d  rejected %d", tc.Name, tc.Admitted, tc.Rejected)
+	}
+	for _, f := range r.Fleets {
+		fmt.Fprintf(&b, "\nfleet%d %-8s routed %-6d completed %-6d p99 %.3fms",
+			f.ID, f.State, f.Routed, f.Completed, 1e3*float64(f.P99))
+		if f.Rerouted > 0 || f.Lost > 0 {
+			fmt.Fprintf(&b, "  rerouted %d  lost %d", f.Rerouted, f.Lost)
+		}
+		if len(f.DeadGPUs) > 0 {
+			fmt.Fprintf(&b, "  dead gpus %v", f.DeadGPUs)
+		}
+	}
+	for _, e := range r.Scale {
+		fmt.Fprintf(&b, "\nscale  %s", e)
+	}
+	return b.String()
+}
+
+// RunReport renders the routed run into the canonical dsp-runreport schema:
+// merged latency/goodput and aggregate serving scalars at the top level, the
+// per-fleet breakdown in the Fleet section.
+func (r *Report) RunReport(meta serve.ReportMeta) *prof.RunReport {
+	out := prof.New("dspserve")
+	out.System = "DSP"
+	out.Dataset = meta.Dataset
+	out.GPUs = meta.GPUs
+	out.Seed = meta.Seed
+	out.Shrink = meta.Shrink
+	out.WallTime = float64(r.Makespan)
+	out.Latency = prof.Latency(r.Latency)
+	for _, fr := range r.PerFleet {
+		out.Wire.Sample += fr.SampleWire
+		out.Wire.Feature += fr.FeatureWire
+	}
+	sv := &prof.ServingReport{
+		Offered:       r.Offered,
+		Throughput:    r.Throughput,
+		Arrived:       r.Arrived,
+		Completed:     r.Completed(),
+		Shed:          r.Shed,
+		ShedRate:      r.ShedRate(),
+		Rerouted:      r.Rerouted,
+		Lost:          r.Lost(),
+		QuotaRejected: r.QuotaRejected,
+		Goodput:       prof.GoodputFrom(r.Goodput),
+	}
+	var rounds int
+	var batch float64
+	for _, fr := range r.PerFleet {
+		sv.Rounds += fr.Rounds
+		rounds += fr.Rounds
+		batch += fr.MeanBatch * float64(fr.Rounds)
+	}
+	if rounds > 0 {
+		sv.MeanBatch = batch / float64(rounds)
+	}
+	for _, tc := range r.Tenants {
+		sv.Tenants = append(sv.Tenants, prof.TenantReport{
+			Name: tc.Name, Admitted: tc.Admitted, Rejected: tc.Rejected,
+		})
+	}
+	out.Serving = sv
+
+	fs := &prof.FleetSection{
+		Policy: r.Policy.String(),
+		Built:  len(r.Fleets),
+	}
+	for i, f := range r.Fleets {
+		fr := r.PerFleet[i]
+		if f.State == Active {
+			fs.Active++
+		}
+		fs.Rerouted += f.Rerouted
+		if f.State == Dead {
+			fs.DeadFleets = append(fs.DeadFleets, f.ID)
+		}
+		fs.PerFleet = append(fs.PerFleet, prof.FleetEntry{
+			ID:        f.ID,
+			State:     f.State.String(),
+			Routed:    f.Routed,
+			Completed: f.Completed,
+			Rerouted:  f.Rerouted,
+			Lost:      f.Lost,
+			P99:       float64(f.P99),
+			Goodput:   prof.GoodputFrom(fr.Goodput),
+			DeadGPUs:  append([]int(nil), f.DeadGPUs...),
+		})
+	}
+	for _, e := range r.Scale {
+		fs.Scale = append(fs.Scale, prof.ScaleEventReport{
+			At: float64(e.At), Action: e.Action, Fleet: e.Fleet, P99: float64(e.P99),
+		})
+	}
+	out.Fleet = fs
+	return out
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestGoodputBasics(t *testing.T) {
+	g := NewGoodput(0.1, 10e-3)
+	// Window 0: two in-SLO, one late. Window 3: one in-SLO.
+	g.Observe(0.01, 5e-3)
+	g.Observe(0.05, 9e-3)
+	g.Observe(0.09, 20e-3)
+	g.Observe(0.35, 10e-3) // exactly at SLO counts as good
+	if g.Total() != 4 {
+		t.Fatalf("total %d != 4", g.Total())
+	}
+	if g.Good() != 3 {
+		t.Fatalf("good %d != 3", g.Good())
+	}
+	if f := g.GoodFraction(); f != 0.75 {
+		t.Fatalf("fraction %g != 0.75", f)
+	}
+	// Span covers windows 0..3 inclusive = 0.4s; rate = 3/0.4.
+	if s := g.Span(); s != 0.4 {
+		t.Fatalf("span %g != 0.4", s)
+	}
+	if r := g.Rate(); r != 3/0.4 {
+		t.Fatalf("rate %g != %g", r, 3/0.4)
+	}
+	// Interior empty windows (1, 2) drive the worst-window rate to zero.
+	if w := g.WorstWindowRate(); w != 0 {
+		t.Fatalf("worst window rate %g != 0", w)
+	}
+}
+
+func TestGoodputEmpty(t *testing.T) {
+	g := NewGoodput(1, 1)
+	if g.Rate() != 0 || g.Good() != 0 || g.Total() != 0 || g.Span() != 0 ||
+		g.GoodFraction() != 0 || g.WorstWindowRate() != 0 {
+		t.Fatal("empty counter not all-zero")
+	}
+	g.Merge(nil)
+	g.Merge(NewGoodput(2, 3)) // empty other: config mismatch tolerated like Histogram
+	if g.Total() != 0 {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+// TestGoodputMergeLossless mirrors the Histogram merge property: splitting an
+// observation stream across k counters and merging reproduces exactly the
+// counter that observed the whole stream.
+func TestGoodputMergeLossless(t *testing.T) {
+	r := rng.New(7)
+	whole := NewGoodput(0.05, 8e-3)
+	parts := []*Goodput{NewGoodput(0.05, 8e-3), NewGoodput(0.05, 8e-3), NewGoodput(0.05, 8e-3)}
+	for i := 0; i < 5000; i++ {
+		at := r.Float64() * 2
+		lat := r.Float64() * 16e-3
+		whole.Observe(at, lat)
+		parts[i%3].Observe(at, lat)
+	}
+	merged := NewGoodput(0.05, 8e-3)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Total() != whole.Total() || merged.Good() != whole.Good() {
+		t.Fatalf("merge lost observations: %d/%d vs %d/%d",
+			merged.Good(), merged.Total(), whole.Good(), whole.Total())
+	}
+	if merged.Span() != whole.Span() || merged.Rate() != whole.Rate() ||
+		merged.WorstWindowRate() != whole.WorstWindowRate() {
+		t.Fatalf("merge changed derived stats: %v vs %v", merged, whole)
+	}
+}
+
+func TestGoodputMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched merge did not panic")
+		}
+	}()
+	a := NewGoodput(0.1, 1e-2)
+	b := NewGoodput(0.2, 1e-2)
+	b.Observe(0, 1e-3)
+	a.Merge(b)
+}

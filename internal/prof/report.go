@@ -63,6 +63,9 @@ type RunReport struct {
 	Epochs  []EpochReport  `json:"epochs,omitempty"`
 	Serving *ServingReport `json:"serving,omitempty"`
 	Faults  *FaultReport   `json:"faults,omitempty"`
+	// Fleet is the replicated-fleet router section (dspserve -fleets N>1):
+	// routing policy, per-fleet outcomes, and autoscaler events.
+	Fleet *FleetSection `json:"fleet,omitempty"`
 
 	// Profile is the trace-derived pipeline profile (present when the run
 	// traced; -report without -trace still records an in-memory trace).
@@ -149,6 +152,84 @@ type ServingReport struct {
 	Rerouted        int     `json:"rerouted,omitempty"`
 	Lost            int     `json:"lost,omitempty"`
 	DeadGPUs        []int   `json:"dead_gpus,omitempty"`
+	// QuotaRejected counts arrivals rejected by per-tenant token buckets
+	// (a subset of Shed).
+	QuotaRejected int `json:"quota_rejected,omitempty"`
+	// Tenants is the per-tenant admission outcome of a multi-tenant run.
+	Tenants []TenantReport `json:"tenants,omitempty"`
+	// Goodput is the within-SLO completion accounting of an SLO-bearing run.
+	Goodput *GoodputReport `json:"goodput,omitempty"`
+}
+
+// TenantReport is one tenant's admission outcome totals.
+type TenantReport struct {
+	Name     string `json:"name"`
+	Admitted int    `json:"admitted"`
+	Rejected int    `json:"rejected"`
+}
+
+// GoodputReport renders a metrics.Goodput counter: how much within-SLO work
+// per virtual second the run delivered.
+type GoodputReport struct {
+	SLO      float64 `json:"slo"`    // seconds
+	Window   float64 `json:"window"` // counter bucket width, seconds
+	Good     uint64  `json:"good"`
+	Total    uint64  `json:"total"`
+	Rate     float64 `json:"rate"` // within-SLO completions per virtual second
+	Fraction float64 `json:"fraction"`
+}
+
+// GoodputFrom renders a goodput counter (nil for nil/empty counters).
+func GoodputFrom(g *metrics.Goodput) *GoodputReport {
+	if g == nil || g.Total() == 0 {
+		return nil
+	}
+	return &GoodputReport{
+		SLO: g.SLO(), Window: g.Window(),
+		Good: g.Good(), Total: g.Total(),
+		Rate: g.Rate(), Fraction: g.GoodFraction(),
+	}
+}
+
+// FleetSection is the replicated-fleet router summary: one entry per built
+// fleet plus router-level routing and autoscaling outcomes.
+type FleetSection struct {
+	Policy string `json:"policy"`
+	// Built is the number of fleets constructed (autoscaler headroom
+	// included); Active the number serving traffic at run end.
+	Built  int `json:"built"`
+	Active int `json:"active"`
+	// Rerouted counts requests rescued from dying fleets by the router;
+	// DeadFleets lists fleets killed by whole-fleet faults.
+	Rerouted   int                `json:"rerouted,omitempty"`
+	DeadFleets []int              `json:"dead_fleets,omitempty"`
+	PerFleet   []FleetEntry       `json:"per_fleet"`
+	Scale      []ScaleEventReport `json:"scale,omitempty"`
+}
+
+// FleetEntry is one fleet's outcome under the router.
+type FleetEntry struct {
+	ID    int    `json:"id"`
+	State string `json:"state"` // active | draining | standby | dead
+	// Routed counts requests the router sent here; Completed those answered.
+	Routed    int `json:"routed"`
+	Completed int `json:"completed"`
+	// Rerouted counts requests rescued FROM this fleet (orphaned admissions
+	// re-routed at its death, plus intra-fleet GPU-crash reroutes); Lost the
+	// dispatched requests it never answered.
+	Rerouted int            `json:"rerouted,omitempty"`
+	Lost     int            `json:"lost,omitempty"`
+	P99      float64        `json:"p99,omitempty"` // seconds
+	Goodput  *GoodputReport `json:"goodput,omitempty"`
+	DeadGPUs []int          `json:"dead_gpus,omitempty"`
+}
+
+// ScaleEventReport is one autoscaler action.
+type ScaleEventReport struct {
+	At     float64 `json:"at"`     // virtual seconds
+	Action string  `json:"action"` // up | drain | standby
+	Fleet  int     `json:"fleet"`
+	P99    float64 `json:"p99"` // window p99 that triggered the action, seconds
 }
 
 // FaultReport summarises fault-tolerance outcomes: recoveries with MTTR and
@@ -239,6 +320,17 @@ func (r *RunReport) Validate() error {
 	for name, v := range r.Stages {
 		if v < 0 {
 			return fmt.Errorf("prof: negative stage time %s=%g", name, v)
+		}
+	}
+	if f := r.Fleet; f != nil {
+		if f.Policy == "" {
+			return fmt.Errorf("prof: fleet section missing policy")
+		}
+		if f.Built < 1 || f.Active < 0 || f.Active > f.Built {
+			return fmt.Errorf("prof: fleet counts inconsistent (built %d active %d)", f.Built, f.Active)
+		}
+		if len(f.PerFleet) != f.Built {
+			return fmt.Errorf("prof: fleet section has %d entries for %d fleets", len(f.PerFleet), f.Built)
 		}
 	}
 	if p := r.Profile; p != nil {

@@ -63,9 +63,27 @@ type Report struct {
 	SampleWire, FeatureWire int64
 	Compression             map[hw.TrafficClass]comm.CompressionStats
 
+	// Tenants is the per-tenant admission outcome (empty without
+	// Config.Tenants). Admitted+Rejected summed over tenants equals Arrived.
+	Tenants []TenantCount
+	// QuotaRejected counts arrivals turned away by per-tenant token buckets
+	// (a subset of Shed).
+	QuotaRejected int
+
+	// Goodput is the windowed within-SLO completion counter (nil without
+	// Config.SLO); SLO echoes the configured objective.
+	Goodput *metrics.Goodput
+	SLO     sim.Time
+
 	// Requests holds every completed request sorted by ID — the per-request
 	// latency trace used by the determinism tests.
 	Requests []*Request
+
+	// Killed marks a whole-server crash (router fleet fault): the fleet died
+	// at KilledAt, its undispatched requests were handed back for re-routing
+	// and its dispatched ones are in Lost.
+	Killed   bool
+	KilledAt sim.Time
 
 	// Degraded-mode accounting (empty for fault-free runs).
 	//
@@ -112,6 +130,12 @@ func (s *Server) report(end sim.Time) *Report {
 		RebalanceBytes:  cs.MovedBytes,
 		RebalanceTime:   cs.RebalanceTime,
 		Requests:        s.completed,
+		Tenants:         s.tenants.Counts(),
+		QuotaRejected:   s.quotaRejected,
+		Goodput:         s.goodput,
+		SLO:             s.cfg.SLO,
+		Killed:          s.dead,
+		KilledAt:        s.killedAt,
 	}
 	for _, h := range s.latency {
 		r.Latency.Merge(h)
@@ -135,8 +159,10 @@ func (s *Server) report(end sim.Time) *Report {
 		r.MeanBatch = float64(s.batchSum) / float64(s.rounds*len(s.latency))
 	}
 	sort.Slice(r.Requests, func(i, j int) bool { return r.Requests[i].ID < r.Requests[j].ID })
-	if s.view != nil {
-		r.DeadGPUs = s.view.Dead()
+	if s.view != nil || s.dead {
+		if s.view != nil {
+			r.DeadGPUs = s.view.Dead()
+		}
 		r.Rerouted = s.rerouted
 		r.Lost = int(s.batchSum) - len(s.completed)
 		r.Recoveries = append([]Recovery(nil), s.crashes...)
@@ -184,10 +210,21 @@ func (r *Report) String() string {
 		1e3*r.Latency.Mean(), 1e3*r.Latency.Max())
 	fmt.Fprintf(&b, "feature reads  local %d  nvlink %d  host %d  (gpu-cache hit %.1f%%, expected %.1f%%)",
 		r.LocalRows, r.RemoteRows, r.HostRows, 100*r.CacheHitRate(), 100*r.ExpectedHitRate)
+	if r.Goodput != nil {
+		fmt.Fprintf(&b, "\ngoodput  %d/%d within %.1fms SLO (%.1f%%)  %.0f good req/s",
+			r.Goodput.Good(), r.Goodput.Total(), 1e3*float64(r.SLO),
+			100*r.Goodput.GoodFraction(), r.Goodput.Rate())
+	}
+	for _, tc := range r.Tenants {
+		fmt.Fprintf(&b, "\ntenant %-10s admitted %d  rejected %d", tc.Name, tc.Admitted, tc.Rejected)
+	}
 	if r.CachePolicy != cache.Static {
 		fmt.Fprintf(&b, "\ncache %s  rebalances %d  promoted %d rows  migrated %.2f MB  overhead %.3fms",
 			r.CachePolicy, r.Rebalances, r.PromotedRows,
 			float64(r.RebalanceBytes)/1e6, 1e3*float64(r.RebalanceTime))
+	}
+	if r.Killed {
+		fmt.Fprintf(&b, "\nfleet killed at %.3fs  lost %d", float64(r.KilledAt), r.Lost)
 	}
 	if len(r.Recoveries) > 0 {
 		fmt.Fprintf(&b, "\ndegraded  dead gpus %v  rerouted %d  lost %d", r.DeadGPUs, r.Rerouted, r.Lost)

@@ -77,7 +77,7 @@ func (r *Report) RunReport(meta ReportMeta) *prof.RunReport {
 
 // ServingRunReport extracts the serving-only scalar section.
 func ServingRunReport(r *Report) prof.ServingReport {
-	return prof.ServingReport{
+	sv := prof.ServingReport{
 		Offered:         r.Offered,
 		Throughput:      r.Throughput,
 		Arrived:         r.Arrived,
@@ -90,5 +90,13 @@ func ServingRunReport(r *Report) prof.ServingReport {
 		Rerouted:        r.Rerouted,
 		Lost:            r.Lost,
 		DeadGPUs:        append([]int(nil), r.DeadGPUs...),
+		QuotaRejected:   r.QuotaRejected,
+		Goodput:         prof.GoodputFrom(r.Goodput),
 	}
+	for _, tc := range r.Tenants {
+		sv.Tenants = append(sv.Tenants, prof.TenantReport{
+			Name: tc.Name, Admitted: tc.Admitted, Rejected: tc.Rejected,
+		})
+	}
+	return sv
 }

@@ -81,6 +81,19 @@ type Config struct {
 	Data *train.Data
 	GPU  hw.GPUSpec
 	CPU  hw.CPUSpec
+	// Engine, when set, builds the fleet's machine on an existing simulation
+	// engine so several Server instances share one virtual clock (replicated
+	// fleets behind a router). The caller then owns the run loop: it must use
+	// Start/Finish rather than Run.
+	Engine *sim.Engine
+	// Name prefixes the server's process names (disambiguates fleets that
+	// share an engine). Empty = no prefix.
+	Name string
+	// External disables the internal arrival generator: requests enter
+	// through Admit and the intake is ended with CloseIntake (router mode).
+	// Duration, Rate and Skew then describe the router's arrival process, not
+	// this server's.
+	External bool
 	// Model is the forward pass served; defaults to a 2-layer GraphSAGE
 	// sized to the dataset.
 	Model nn.Config
@@ -138,6 +151,24 @@ type Config struct {
 	// (nil = raw fp32 rows). UVA host reads are zero-copy and uncompressed.
 	FeatCodec compress.Codec
 
+	// Tenants partitions the arrival stream into named tenants: each arrival
+	// draws a tenant proportionally to the spec weights (from a stream
+	// independent of arrival timing), and tenants with a Rate are admission-
+	// limited by a token bucket. Quota rejections count into Shed and into
+	// the per-tenant rejected totals. Empty = single implicit tenant,
+	// bit-identical to the pre-tenant behaviour.
+	Tenants []TenantSpec
+	// SLO is the end-to-end latency objective. When positive, the run keeps
+	// a windowed goodput counter (requests completed within SLO per virtual
+	// second) reported alongside the latency histogram.
+	SLO sim.Time
+	// GoodputWindow is the goodput counter's bucket width (default 10 ms).
+	GoodputWindow sim.Time
+	// OnComplete, when set, is invoked in engine context at each request's
+	// completion instant (after its latency is recorded). The fleet router
+	// uses it to feed routing and autoscaling state.
+	OnComplete func(*Request)
+
 	// Tracer, when set, records per-request spans, round spans, queue-depth
 	// counters and shed markers.
 	Tracer *trace.Tracer
@@ -189,6 +220,9 @@ func (c Config) defaults() Config {
 	if c.RebalanceEvery <= 0 {
 		c.RebalanceEvery = 25e-3
 	}
+	if c.GoodputWindow <= 0 {
+		c.GoodputWindow = 10e-3
+	}
 	return c
 }
 
@@ -233,6 +267,7 @@ type Request struct {
 	ID      int
 	Node    graph.NodeID
 	GPU     int
+	Tenant  int // index into Config.Tenants (0 when untenanted)
 	Arrival sim.Time
 	Start   sim.Time // round dispatch time
 	Done    sim.Time
@@ -277,19 +312,33 @@ type Server struct {
 	inj  *fault.Injector
 	view *fault.View
 
+	// multi-tenancy and SLO accounting
+	tenants *TenantTable
+	goodput *metrics.Goodput
+
 	// run state
 	wake      *sim.Event
 	genDone   bool
+	started   bool
 	pending   [][]*Request
 	sampQ     []*sim.Queue
 	execQ     []*sim.Queue
 	dones     []*sim.Event
+	genProc   *sim.Proc
+	ctrlProc  *sim.Proc
+	rebProc   *sim.Proc
 	sampProcs []*sim.Proc
 	execProcs []*sim.Proc
 	nextRound int
+	nextID    int
+
+	// whole-fleet crash state (router-driven Shutdown)
+	dead     bool
+	killedAt sim.Time
 
 	// accounting
 	arrived, shed int
+	quotaRejected int
 	rerouted      int
 	rounds        int
 	batchSum      int64
@@ -310,7 +359,15 @@ func NewServer(cfg Config) (*Server, error) {
 	d := cfg.Data
 	n := d.NumGPUs()
 	s := &Server{cfg: cfg, overhead: cfg.effectiveOverhead()}
-	s.m = hw.NewMachineScaled(n, cfg.GPU, cfg.CPU, cfg.LatencyScale)
+	if cfg.Engine != nil {
+		s.m = hw.NewMachineOn(cfg.Engine, n, cfg.GPU, cfg.CPU, cfg.LatencyScale)
+	} else {
+		s.m = hw.NewMachineScaled(n, cfg.GPU, cfg.CPU, cfg.LatencyScale)
+	}
+	s.tenants = NewTenantTable(cfg.Tenants)
+	if cfg.SLO > 0 {
+		s.goodput = metrics.NewGoodput(float64(cfg.GoodputWindow), float64(cfg.SLO))
+	}
 	if cfg.Tracer.Enabled() {
 		s.m.SetTracer(cfg.Tracer)
 		for g := 0; g < n; g++ {
@@ -455,9 +512,24 @@ func (s *Server) ExpectedCacheHitRate() float64 {
 	return s.store.CachedFraction(s.workload.Weights())
 }
 
-// Run executes the serving simulation to completion and reports results.
-// A Server is single-use: Run consumes the virtual machine.
-func (s *Server) Run() (*Report, error) {
+// pname prefixes a process name with the server's fleet name, if any.
+func (s *Server) pname(base string) string {
+	if s.cfg.Name == "" {
+		return base
+	}
+	return s.cfg.Name + "/" + base
+}
+
+// Start spawns the serving pipeline's processes on the engine without running
+// it: the generator (unless External), the frontend controller, per-GPU
+// sampler and executor workers, the fault injector and the cache-rebalance
+// daemon. Callers that share an engine across servers Start each of them and
+// then drive Engine.Run themselves, finishing each with Finish.
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
 	n := s.cfg.Data.NumGPUs()
 	eng := s.m.Eng
 	s.wake = eng.NewEvent()
@@ -468,14 +540,16 @@ func (s *Server) Run() (*Report, error) {
 		s.latency = append(s.latency, metrics.New())
 		s.dones = append(s.dones, eng.NewEvent())
 	}
-	eng.Go("serve/generator", s.generator)
-	eng.Go("serve/controller", s.controller)
+	if !s.cfg.External {
+		s.genProc = eng.Go(s.pname("serve/generator"), s.generator)
+	}
+	s.ctrlProc = eng.Go(s.pname("serve/controller"), s.controller)
 	for g := 0; g < n; g++ {
 		g := g
 		s.sampProcs = append(s.sampProcs,
-			eng.Go(fmt.Sprintf("gpu%d/serve-sampler", g), func(p *sim.Proc) { s.sampler(p, g) }))
+			eng.Go(s.pname(fmt.Sprintf("gpu%d/serve-sampler", g)), func(p *sim.Proc) { s.sampler(p, g) }))
 		s.execProcs = append(s.execProcs,
-			eng.Go(fmt.Sprintf("gpu%d/serve-exec", g), func(p *sim.Proc) { s.executor(p, g) }))
+			eng.Go(s.pname(fmt.Sprintf("gpu%d/serve-exec", g)), func(p *sim.Proc) { s.executor(p, g) }))
 	}
 	if s.inj != nil {
 		s.inj.Arm()
@@ -483,26 +557,151 @@ func (s *Server) Run() (*Report, error) {
 	if s.cacheMgr.Dynamic() {
 		// Daemon: rebalances happen while request work is in flight, but a
 		// drained fleet does not stay alive just to keep adapting.
-		eng.GoDaemon("cache/rebalance", func(p *sim.Proc) {
+		s.rebProc = eng.GoDaemon(s.pname("cache/rebalance"), func(p *sim.Proc) {
 			for {
 				p.Sleep(s.cfg.RebalanceEvery)
 				s.cacheMgr.Rebalance(p, s.m.Fabric)
 			}
 		})
 	}
-	end, err := eng.Run()
-	if err != nil {
-		return nil, err
-	}
-	for g, d := range s.dones {
-		if !s.alive(g) {
-			continue // killed mid-run; its dispatched requests are lost
-		}
-		if !d.Fired() {
-			return nil, fmt.Errorf("serve: GPU %d executor did not finish", g)
+}
+
+// Finish validates pipeline completion and builds the report after the
+// engine has run to quiescence at virtual time end.
+func (s *Server) Finish(end sim.Time) (*Report, error) {
+	if !s.dead {
+		for g, d := range s.dones {
+			if !s.alive(g) {
+				continue // killed mid-run; its dispatched requests are lost
+			}
+			if !d.Fired() {
+				return nil, fmt.Errorf("serve: GPU %d executor did not finish", g)
+			}
 		}
 	}
 	return s.report(end), nil
+}
+
+// Run executes the serving simulation to completion and reports results.
+// A Server is single-use: Run consumes the virtual machine.
+func (s *Server) Run() (*Report, error) {
+	s.Start()
+	end, err := s.m.Eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	return s.Finish(end)
+}
+
+// Outstanding is the number of admitted requests not yet completed: queued in
+// admission plus dispatched into the sample/execute pipeline. It is the
+// least-loaded routing signal of the fleet router.
+func (s *Server) Outstanding() int {
+	n := 0
+	for _, q := range s.pending {
+		n += len(q)
+	}
+	return n + int(s.batchSum) - len(s.completed)
+}
+
+// Dead reports whether the whole server was killed by Shutdown.
+func (s *Server) Dead() bool { return s.dead }
+
+// targetGPU resolves the admission queue for a node: its patch owner, or the
+// next live GPU when the owner is dead (counted as a reroute).
+func (s *Server) targetGPU(node graph.NodeID) int {
+	g := s.workload.Owner(node)
+	if !s.alive(g) {
+		g = s.view.NextLive(g)
+		s.rerouted++
+	}
+	return g
+}
+
+// CanAdmit reports whether a request for node would currently be admitted
+// (its target GPU's queue has room). Routers call it before Admit so that a
+// rejected probe does not inflate this server's arrival accounting.
+func (s *Server) CanAdmit(node graph.NodeID) bool {
+	if s.dead || !s.started {
+		return false
+	}
+	g := s.workload.Owner(node)
+	if !s.alive(g) {
+		g = s.view.NextLive(g)
+	}
+	return len(s.pending[g]) < s.cfg.QueueDepth
+}
+
+// Admit injects one externally generated request (router mode) at virtual
+// time now and reports whether it was admitted. The request is owned by this
+// server from admission to completion; a false return means the target GPU's
+// admission queue was full and the request was shed here.
+func (s *Server) Admit(now sim.Time, id int, node graph.NodeID, tenant int) bool {
+	if s.dead {
+		return false
+	}
+	s.arrived++
+	g := s.targetGPU(node)
+	if len(s.pending[g]) >= s.cfg.QueueDepth {
+		s.shed++
+		if s.tenants != nil {
+			s.tenants.Reject(tenant)
+		}
+		return false
+	}
+	s.pending[g] = append(s.pending[g], &Request{
+		ID: id, Node: node, GPU: g, Tenant: tenant, Arrival: now, Pred: -1,
+	})
+	if s.tenants != nil {
+		s.tenants.Accept(tenant)
+	}
+	s.traceDepth(now)
+	s.signal()
+	return true
+}
+
+// CloseIntake marks the external arrival stream finished (router mode): the
+// controller drains the remaining admitted requests and the pipeline shuts
+// down. Must be called in engine context.
+func (s *Server) CloseIntake() {
+	if s.genDone {
+		return
+	}
+	s.genDone = true
+	s.signal()
+}
+
+// Shutdown kills the whole server at the current instant — the fleet-level
+// crash of the router's fault model. Every worker process is killed (their
+// held resources release as they unwind), the fault injector and rebalance
+// daemon stop, and the admitted-but-undispatched requests are returned to
+// the caller for re-routing to surviving fleets. Requests already dispatched
+// into the pipeline are lost (Report.Lost). Idempotent.
+func (s *Server) Shutdown(p *sim.Proc) []*Request {
+	if s.dead {
+		return nil
+	}
+	s.dead = true
+	s.killedAt = p.Now()
+	eng := s.m.Eng
+	if s.inj != nil {
+		s.inj.Stop()
+	}
+	for _, pr := range []*sim.Proc{s.genProc, s.ctrlProc, s.rebProc} {
+		if pr != nil {
+			eng.Kill(pr)
+		}
+	}
+	for g := range s.sampProcs {
+		eng.Kill(s.sampProcs[g])
+		eng.Kill(s.execProcs[g])
+	}
+	var orphans []*Request
+	for g := range s.pending {
+		orphans = append(orphans, s.pending[g]...)
+		s.pending[g] = nil
+	}
+	return orphans
 }
 
 // Serve builds and runs a server in one call.
@@ -528,30 +727,48 @@ func (s *Server) signal() {
 func (s *Server) generator(p *sim.Proc) {
 	cfg := s.cfg
 	r := rng.New(rng.Mix(cfg.Seed, 0xA221A1))
+	// Tenant assignment draws from its own stream so configuring tenants
+	// perturbs neither arrival timing nor node popularity.
+	tr := rng.New(rng.Mix(cfg.Seed, 0x7E4A47))
 	n := cfg.Data.NumGPUs()
-	id := 0
 	for {
 		p.Sleep(sim.Time(r.Exp(cfg.Rate)))
 		if p.Now() >= cfg.Duration {
 			break
 		}
 		node := s.workload.Draw(r, p.Now())
-		g := s.workload.Owner(node)
-		if !s.alive(g) {
-			g = s.view.NextLive(g)
-			s.rerouted++
+		tenant := 0
+		if s.tenants != nil {
+			tenant = s.tenants.Draw(tr)
 		}
 		s.arrived++
+		if s.tenants != nil && !s.tenants.TakeToken(tenant, p.Now()) {
+			// Quota rejection: admission control turned the request away
+			// before it reached any queue.
+			s.shed++
+			s.quotaRejected++
+			s.tenants.Reject(tenant)
+			cfg.Tracer.Instant("quota-reject", "serve", n, 0, float64(p.Now()), "t",
+				map[string]string{"tenant": s.tenants.Name(tenant)})
+			continue
+		}
+		g := s.targetGPU(node)
 		if len(s.pending[g]) >= cfg.QueueDepth {
 			s.shed++
+			if s.tenants != nil {
+				s.tenants.Reject(tenant)
+			}
 			cfg.Tracer.Instant("shed", "serve", n, 0, float64(p.Now()), "t",
 				map[string]string{"node": fmt.Sprint(node), "gpu": fmt.Sprint(g)})
 			continue
 		}
 		s.pending[g] = append(s.pending[g], &Request{
-			ID: id, Node: node, GPU: g, Arrival: p.Now(), Pred: -1,
+			ID: s.nextID, Node: node, GPU: g, Tenant: tenant, Arrival: p.Now(), Pred: -1,
 		})
-		id++
+		s.nextID++
+		if s.tenants != nil {
+			s.tenants.Accept(tenant)
+		}
 		s.traceDepth(p.Now())
 		s.signal()
 	}
@@ -779,7 +996,13 @@ func (s *Server) executor(p *sim.Proc, g int) {
 				req.Pred = preds[i]
 			}
 			s.latency[g].Observe(float64(req.Latency()))
+			if s.goodput != nil {
+				s.goodput.Observe(float64(now), float64(req.Latency()))
+			}
 			s.completed = append(s.completed, req)
+			if s.cfg.OnComplete != nil {
+				s.cfg.OnComplete(req)
+			}
 			s.cfg.Tracer.Complete(fmt.Sprintf("req %d", req.ID), "request",
 				g, 20, float64(req.Arrival), float64(now),
 				map[string]string{"node": fmt.Sprint(req.Node), "round": fmt.Sprint(req.Round)})

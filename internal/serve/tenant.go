@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TenantSpec describes one tenant of a multi-tenant serving run: its share
+// of the arrival stream and its admission quota.
+type TenantSpec struct {
+	Name string
+	// Weight is the tenant's share of arrivals (relative; defaults to 1).
+	Weight float64
+	// Rate is the tenant's admission quota in requests per virtual second
+	// (token-bucket refill rate; 0 = unlimited).
+	Rate float64
+	// Burst is the token-bucket depth (defaults to max(1, Rate/100): a 10 ms
+	// burst allowance).
+	Burst float64
+}
+
+// TenantCount is one tenant's admission outcome totals.
+type TenantCount struct {
+	Name     string
+	Admitted int
+	Rejected int
+}
+
+// ParseTenants parses a comma-separated tenant spec:
+//
+//	name:weight[:rate[:burst]]
+//
+// e.g. "free:4:500,pro:1" — tenant "free" gets 4/5 of arrivals capped at
+// 500 req/s, tenant "pro" 1/5 uncapped. An empty spec yields nil (untenanted).
+func ParseTenants(spec string) ([]TenantSpec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []TenantSpec
+	seen := map[string]bool{}
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if parts[0] == "" {
+			return nil, fmt.Errorf("serve: tenant entry %q has no name", entry)
+		}
+		t := TenantSpec{Name: parts[0], Weight: 1}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("serve: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		fields := []*float64{&t.Weight, &t.Rate, &t.Burst}
+		if len(parts)-1 > len(fields) {
+			return nil, fmt.Errorf("serve: tenant entry %q has too many fields (want name:weight[:rate[:burst]])", entry)
+		}
+		for i, p := range parts[1:] {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("serve: tenant entry %q: bad value %q", entry, p)
+			}
+			*fields[i] = v
+		}
+		if t.Weight <= 0 {
+			return nil, fmt.Errorf("serve: tenant %q needs a positive weight", t.Name)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// FormatTenants renders specs in the grammar accepted by ParseTenants.
+func FormatTenants(specs []TenantSpec) string {
+	parts := make([]string, len(specs))
+	for i, t := range specs {
+		s := fmt.Sprintf("%s:%g", t.Name, t.Weight)
+		if t.Rate > 0 {
+			s += fmt.Sprintf(":%g", t.Rate)
+			if t.Burst > 0 {
+				s += fmt.Sprintf(":%g", t.Burst)
+			}
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ",")
+}
+
+// TenantTable is the runtime admission state of a tenant set: a seeded
+// weight-proportional tenant draw, one token bucket per quota-bearing tenant,
+// and per-tenant admitted/rejected counts. All methods run in engine context.
+type TenantTable struct {
+	specs  []TenantSpec
+	cum    []float64 // cumulative weights for Draw
+	tokens []float64
+	last   []sim.Time
+	counts []TenantCount
+}
+
+// NewTenantTable builds the runtime table (nil for an empty spec set).
+func NewTenantTable(specs []TenantSpec) *TenantTable {
+	if len(specs) == 0 {
+		return nil
+	}
+	t := &TenantTable{
+		specs:  specs,
+		cum:    make([]float64, len(specs)),
+		tokens: make([]float64, len(specs)),
+		last:   make([]sim.Time, len(specs)),
+		counts: make([]TenantCount, len(specs)),
+	}
+	var total float64
+	for i, s := range specs {
+		total += s.Weight
+		t.cum[i] = total
+		t.counts[i].Name = s.Name
+		t.tokens[i] = t.burst(i) // buckets start full
+	}
+	return t
+}
+
+// burst is tenant i's effective bucket depth.
+func (t *TenantTable) burst(i int) float64 {
+	s := t.specs[i]
+	if s.Rate <= 0 {
+		return 0
+	}
+	if s.Burst > 0 {
+		return s.Burst
+	}
+	b := s.Rate / 100
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// N returns the tenant count.
+func (t *TenantTable) N() int { return len(t.specs) }
+
+// Name returns tenant id's name.
+func (t *TenantTable) Name(id int) string { return t.specs[id].Name }
+
+// Draw samples a tenant id proportionally to the spec weights.
+func (t *TenantTable) Draw(r *rng.RNG) int {
+	u := r.Float64() * t.cum[len(t.cum)-1]
+	for i, c := range t.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(t.cum) - 1
+}
+
+// TakeToken charges one request against tenant id's quota at virtual time
+// now, reporting whether the quota admits it. Tenants without a Rate always
+// pass. The bucket refills continuously at Rate up to Burst.
+func (t *TenantTable) TakeToken(id int, now sim.Time) bool {
+	s := t.specs[id]
+	if s.Rate <= 0 {
+		return true
+	}
+	if now > t.last[id] {
+		t.tokens[id] += float64(now-t.last[id]) * s.Rate
+		if max := t.burst(id); t.tokens[id] > max {
+			t.tokens[id] = max
+		}
+		t.last[id] = now
+	}
+	if t.tokens[id] < 1 {
+		return false
+	}
+	t.tokens[id]--
+	return true
+}
+
+// Accept records an admitted request for tenant id.
+func (t *TenantTable) Accept(id int) { t.counts[id].Admitted++ }
+
+// Reject records a rejected request (quota or queue shed) for tenant id.
+func (t *TenantTable) Reject(id int) { t.counts[id].Rejected++ }
+
+// Counts returns a copy of the per-tenant outcome totals.
+func (t *TenantTable) Counts() []TenantCount {
+	if t == nil {
+		return nil
+	}
+	return append([]TenantCount(nil), t.counts...)
+}

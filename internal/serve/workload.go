@@ -96,6 +96,13 @@ func (w *Workload) mapping(now sim.Time) []graph.NodeID {
 	return w.phased
 }
 
+// MappingAt returns a copy of the rank→node assignment in effect at virtual
+// time now (index = popularity rank). Tests use it to check that fleets with
+// independent seeds drift through independent phase mappings.
+func (w *Workload) MappingAt(now sim.Time) []graph.NodeID {
+	return append([]graph.NodeID(nil), w.mapping(now)...)
+}
+
 // Draw samples one target node from the popularity distribution in effect at
 // virtual time now.
 func (w *Workload) Draw(r *rng.RNG, now sim.Time) graph.NodeID {

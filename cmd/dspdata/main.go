@@ -18,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cliopts"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/graphio"
@@ -42,6 +43,7 @@ func main() {
 		phases  = flag.Int("phases", 3, "preview: number of drift phases to sample")
 		seed    = flag.Uint64("seed", 13, "partitioner (or preview) seed")
 	)
+	graphOpts := cliopts.RegisterGraph(flag.CommandLine)
 	flag.Parse()
 
 	if *preview != "" {
@@ -50,6 +52,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dspdata: %v\n", err)
 			os.Exit(1)
 		}
+		previewMemory(td.G)
 		previewWorkload(td, *skew, sim.Time(*drift), *draws, *phases, *seed)
 		return
 	}
@@ -79,6 +82,9 @@ func main() {
 	td.ScaleFactor = std.ScaleFactor
 	td.GPUMemBytes = std.GPUMemBytes()
 	td.BenchBatch = std.BenchBatch
+	if graphOpts.Compress() {
+		previewMemory(td.G)
+	}
 
 	path := *out
 	if path == "" {
@@ -90,6 +96,20 @@ func main() {
 	}
 	info, _ := os.Stat(path)
 	fmt.Printf("wrote %s (%.1f MB)\n", path, float64(info.Size())/(1<<20))
+}
+
+// previewMemory prints the flat-vs-compressed topology storage estimate: what
+// the adjacency costs as raw CSR versus delta-sorted varint blocks, so an
+// operator can judge whether -graph-compress (or the -ooc tier) pays off
+// before committing to a training run.
+func previewMemory(g *graph.CSR) {
+	flat := g.TopologyBytes()
+	comp := graph.Compress(g).TopologyBytes()
+	ratio := float64(flat) / float64(comp)
+	fmt.Printf("topology: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("  flat CSR       %8.1f MB\n", float64(flat)/(1<<20))
+	fmt.Printf("  compressed     %8.1f MB  (%.2fx smaller, delta-sorted varint)\n",
+		float64(comp)/(1<<20), ratio)
 }
 
 // previewWorkload samples the serving popularity distribution per drift phase

@@ -141,6 +141,22 @@ func cmdSummary(args []string) error {
 			fmt.Printf("cache hit %.1f%% (local %d, peer %d, host %d)\n",
 				100*r.Cache.HitRate, r.Cache.Local, r.Cache.Peer, r.Cache.Host)
 		}
+		if s := r.Store; s != nil {
+			comp := ""
+			if s.Compressed {
+				comp = ", compressed topology"
+			}
+			fmt.Printf("ooc store: %d blocks (%d topo%s), %.2f MB over a %.2f MB cache\n",
+				s.Blocks, s.TopoBlocks, comp,
+				float64(s.BlockBytes)/1e6, float64(s.CacheBytes)/1e6)
+			fmt.Printf("ooc store: hit %.1f%% (%d/%d)  demand %.2f MB  stall %.4gs\n",
+				100*s.HitRate, s.Hits, s.Hits+s.Misses, float64(s.DemandBytes)/1e6, s.StallTime)
+			if s.PrefetchIssued > 0 {
+				fmt.Printf("ooc store: prefetch %d issued, %d used (%.1f%% accuracy), %.2f MB\n",
+					s.PrefetchIssued, s.PrefetchUsed, 100*s.PrefetchAccuracy,
+					float64(s.PrefetchBytes)/1e6)
+			}
+		}
 		if r.Serving != nil {
 			fmt.Printf("serving: throughput %.0f req/s  shed %.1f%%  rounds %d\n",
 				r.Serving.Throughput, 100*r.Serving.ShedRate, r.Serving.Rounds)

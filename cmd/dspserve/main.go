@@ -67,6 +67,7 @@ func main() {
 	)
 	common := cliopts.Register(flag.CommandLine)
 	fleetOpts := cliopts.RegisterFleet(flag.CommandLine)
+	graphOpts := cliopts.RegisterGraph(flag.CommandLine)
 	flag.Parse()
 
 	var td *train.Data
@@ -189,6 +190,13 @@ func main() {
 		Faults:             faults,
 		Tenants:            tenants,
 		SLO:                fleetOpts.SLO(),
+		CompressTopology:   graphOpts.Compress(),
+		OOC:                graphOpts.OOC(),
+		OOCBudget:          graphOpts.OOCBudget(),
+		OOCNoPrefetch:      graphOpts.OOCNoPrefetch(),
+	}
+	if desc := graphOpts.Describe(); desc != "" {
+		fmt.Printf("graph storage: %s\n", desc)
 	}
 
 	if fleetMode {

@@ -36,6 +36,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/nn"
 	"repro/internal/sample"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
@@ -61,6 +62,7 @@ func main() {
 	)
 	common := cliopts.Register(flag.CommandLine)
 	common.RegisterGrad(flag.CommandLine)
+	graphOpts := cliopts.RegisterGraph(flag.CommandLine)
 	flag.Parse()
 
 	var td *train.Data
@@ -128,6 +130,13 @@ func main() {
 	if opts.GradCodec != nil || opts.FeatCodec != nil {
 		fmt.Printf("compression: grad=%s feat=%s\n",
 			compress.Name(opts.GradCodec), compress.Name(opts.FeatCodec))
+	}
+	opts.CompressTopology = graphOpts.Compress()
+	opts.OOC = graphOpts.OOC()
+	opts.OOCBudget = graphOpts.OOCBudget()
+	opts.OOCNoPrefetch = graphOpts.OOCNoPrefetch()
+	if desc := graphOpts.Describe(); desc != "" {
+		fmt.Printf("graph storage: %s\n", desc)
 	}
 
 	var sys train.System
@@ -244,6 +253,7 @@ func main() {
 			CachePolicy: opts.DynamicCache,
 			Epochs:      rep.Epochs, FT: rep,
 			Tracer: tracer, Compression: compressionOf(sys),
+			Store: oocStatsOf(sys),
 		})); err != nil {
 			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
 			os.Exit(1)
@@ -290,6 +300,7 @@ func main() {
 		CachePolicy: opts.DynamicCache,
 		Epochs:      allStats, ValAcc: valAccs,
 		Tracer: tracer, Compression: compressionOf(sys),
+		Store: oocStatsOf(sys),
 	})); err != nil {
 		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
 		os.Exit(1)
@@ -304,6 +315,15 @@ func reportShrink(dataIn string, shrink int) int {
 		return 0
 	}
 	return shrink
+}
+
+// oocStatsOf extracts out-of-core store accounting from systems that have the
+// tier (DSP with -ooc; zero Stats otherwise).
+func oocStatsOf(sys train.System) store.Stats {
+	if h, ok := sys.(interface{ OOCStats() store.Stats }); ok {
+		return h.OOCStats()
+	}
+	return store.Stats{}
 }
 
 // compressionOf extracts codec accounting from systems that track it (DSP).

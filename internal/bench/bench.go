@@ -317,6 +317,7 @@ var Experiments = map[string]func(w io.Writer, cfg RunConfig) error{
 	"cache-sweep":       runnerFor(CacheSweep),
 	"router-sweep":      runnerFor(RouterSweep),
 	"compress-sweep":    runnerFor(CompressSweep),
+	"ooc-sweep":         runnerFor(OOCSweep),
 	"perf":              Perf,
 }
 

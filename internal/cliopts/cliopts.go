@@ -47,6 +47,58 @@ func Register(fs *flag.FlagSet) *Common {
 	return c
 }
 
+// Graph holds the graph-storage flag values shared by dsptrain, dspserve and
+// dspdata: compressed CSR topology and the out-of-core host/disk tier.
+type Graph struct {
+	compress      *bool
+	ooc           *bool
+	oocBudget     *int64
+	oocNoPrefetch *bool
+}
+
+// RegisterGraph installs the graph-storage flags on fs.
+func RegisterGraph(fs *flag.FlagSet) *Graph {
+	g := &Graph{}
+	g.compress = fs.Bool("graph-compress", false,
+		"store the partitioned topology varint-compressed (delta-sorted gap encoding; ~4x smaller, decode kernel per sampled row)")
+	g.ooc = fs.Bool("ooc", false,
+		"enable the out-of-core tier: spill topology and feature blocks to a simulated NVMe device below host memory")
+	g.oocBudget = fs.Int64("ooc-budget", 0,
+		"host block-cache budget in bytes for -ooc (0 = half the block bytes)")
+	g.oocNoPrefetch = fs.Bool("ooc-no-prefetch", false,
+		"disable the proximity-aware block prefetcher (with -ooc every host read stalls on demand fetches)")
+	return g
+}
+
+// Compress returns the -graph-compress value.
+func (g *Graph) Compress() bool { return *g.compress }
+
+// OOC returns the -ooc value.
+func (g *Graph) OOC() bool { return *g.ooc }
+
+// OOCBudget returns the -ooc-budget value.
+func (g *Graph) OOCBudget() int64 { return *g.oocBudget }
+
+// OOCNoPrefetch returns the -ooc-no-prefetch value.
+func (g *Graph) OOCNoPrefetch() bool { return *g.oocNoPrefetch }
+
+// Describe returns the operator-facing one-liner for the selected graph
+// storage mode, or "" when every flag is off.
+func (g *Graph) Describe() string {
+	var parts []string
+	if g.Compress() {
+		parts = append(parts, "compressed topology (delta-sorted varint)")
+	}
+	if g.OOC() {
+		pf := "proximity prefetch on"
+		if g.OOCNoPrefetch() {
+			pf = "prefetch off"
+		}
+		parts = append(parts, "out-of-core tier ("+pf+")")
+	}
+	return strings.Join(parts, ", ")
+}
+
 // RegisterGrad additionally installs the gradient-compression flag (training
 // binaries only; serving has no gradients).
 func (c *Common) RegisterGrad(fs *flag.FlagSet) {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/sample"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
@@ -45,11 +46,12 @@ const (
 type DSP struct {
 	Opts train.Options
 
-	m        *hw.Machine
-	world    *csp.World
-	store    *featstore.Store
-	cacheMgr *cache.Manager
-	coord    *pipeline.Coordinator
+	m         *hw.Machine
+	world     *csp.World
+	store     *featstore.Store
+	hostStore *store.Store
+	cacheMgr  *cache.Manager
+	coord     *pipeline.Coordinator
 
 	loaderComm *comm.Communicator
 	trainer    *train.Trainer
@@ -85,11 +87,28 @@ func New(opts train.Options) (*DSP, error) {
 		// memory and the other nodes in CPU memory").
 		topoBudget = opts.GPU.MemBytes * 6 / 10
 	}
-	world, err := csp.NewWorldBudget(s.m, d.G, d.Offsets, topoBudget)
+	var topo graph.Topology = d.G
+	if opts.CompressTopology {
+		topo = graph.Compress(d.G)
+	}
+	world, err := csp.NewWorldBudget(s.m, topo, d.Offsets, topoBudget)
 	if err != nil {
 		return nil, fmt.Errorf("core: topology layout: %w", err)
 	}
 	s.world = world
+	if opts.OOC {
+		hs, err := store.New(s.m.Eng, topo, d.G.NumNodes(), d.RowBytes(), store.Config{
+			BlockNodes:   opts.OOCBlockNodes,
+			CacheBytes:   opts.OOCBudget,
+			Prefetch:     !opts.OOCNoPrefetch,
+			LatencyScale: opts.LatencyScale,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: out-of-core store: %w", err)
+		}
+		s.hostStore = hs
+		s.world.SetHostStore(hs)
+	}
 
 	// Reserve in-flight worker buffers BEFORE sizing the feature cache (see
 	// the multi-instance note below): extra sampler/loader instances eat
@@ -262,13 +281,16 @@ func (s *DSP) sampleStage(p *sim.Proc, rank, epoch, step int) *sample.MiniBatch 
 func (s *DSP) sampleStageWith(p *sim.Proc, rank, epoch, step int, w *csp.World) *sample.MiniBatch {
 	seeds := s.sched.Batch(s.Opts.Data, s.Opts.Seed, epoch, step, rank)
 	bs := train.BatchSeed(s.Opts.Seed, epoch, step, rank)
-	if s.Opts.PullData {
-		return w.PullDataSampleBatch(p, rank, seeds, s.Opts.Sample, bs)
+	var mb *sample.MiniBatch
+	switch {
+	case s.Opts.PullData:
+		mb = w.PullDataSampleBatch(p, rank, seeds, s.Opts.Sample, bs)
+	case s.Opts.UnfusedSampling:
+		mb = w.SampleBatchUnfused(p, rank, seeds, s.Opts.Sample, bs)
+	default:
+		mb = w.SampleBatch(p, rank, seeds, s.Opts.Sample, bs)
 	}
-	if s.Opts.UnfusedSampling {
-		return w.SampleBatchUnfused(p, rank, seeds, s.Opts.Sample, bs)
-	}
-	return w.SampleBatch(p, rank, seeds, s.Opts.Sample, bs)
+	return mb
 }
 
 // zeroRows returns a zero-backed payload standing in for rows feature rows
@@ -300,10 +322,24 @@ func (s *DSP) loadStageWith(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *com
 	s.cacheMgr.Account(rank, cache.CountTiers(local, remote, host))
 	n := lc.N
 
+	// Feature tier of the frontier walk: the split names exactly the
+	// host-tier rows the UVA side path is about to read — prefetch their
+	// blocks now (MaxInflight-way parallel, non-blocking) so the spill reads
+	// overlap the NVLink path instead of serialising in the toucher.
+	if s.hostStore != nil && len(host) > 0 {
+		s.hostStore.PrefetchFeatures(host)
+	}
+
 	// Cold rows via UVA, concurrently with the NVLink path.
 	uvaDone := s.m.Eng.NewEvent()
 	if len(host) > 0 {
 		s.m.Eng.Go(fmt.Sprintf("gpu%d/uva", rank), func(cp *sim.Proc) {
+			// Host rows must be cache-resident before UVA can read them:
+			// the out-of-core tier stalls this side path (not the NVLink
+			// path) on any spill-device fetch.
+			if s.hostStore != nil {
+				s.hostStore.TouchFeatures(cp, host)
+			}
 			dev.UVARead(cp, s.m.Fabric, int64(len(host)), d.RowBytes(), hw.TrafficFeature)
 			uvaDone.Trigger()
 		})
@@ -360,6 +396,10 @@ func (s *DSP) RunEpochRange(epoch, from, to int) (train.EpochStats, error) {
 		return train.EpochStats{}, fmt.Errorf("core: fault tolerance is unsupported with multi-instance workers")
 	}
 	before := s.cacheMgr.Stats()
+	var storeBefore store.Stats
+	if s.hostStore != nil {
+		storeBefore = s.hostStore.Stats()
+	}
 	st, err := train.RunEpochSteps(s.m, epoch, from, to, s.Opts.Pipeline, s.Opts.QueueCap, s.Opts.EffectiveStageOverhead(),
 		func(rank int, st *train.EpochStats) pipeline.Stages {
 			return pipeline.Stages{
@@ -401,8 +441,30 @@ func (s *DSP) RunEpochRange(epoch, from, to int) (train.EpochStats, error) {
 	st.CachePromoted = after.Promoted - before.Promoted
 	st.RebalanceBytes = after.MovedBytes - before.MovedBytes
 	st.RebalanceTime = after.RebalanceTime - before.RebalanceTime
+	if s.hostStore != nil {
+		ss := s.hostStore.Stats()
+		st.StoreHits = ss.Hits - storeBefore.Hits
+		st.StoreMisses = ss.Misses - storeBefore.Misses
+		st.StoreDemandBytes = ss.DemandBytes - storeBefore.DemandBytes
+		st.StorePrefetchIssued = ss.PrefetchIssued - storeBefore.PrefetchIssued
+		st.StorePrefetchUsed = ss.PrefetchUsed - storeBefore.PrefetchUsed
+		st.StoreStall = ss.StallTime - storeBefore.StallTime
+	}
 	return st, nil
 }
+
+// OOCStats exposes the out-of-core store's cumulative accounting (zero Stats
+// when the OOC tier is disabled).
+func (s *DSP) OOCStats() store.Stats {
+	if s.hostStore == nil {
+		return store.Stats{}
+	}
+	return s.hostStore.Stats()
+}
+
+// TopologyResidentBytes reports the world's total resident topology bytes
+// (compressed when Opts.CompressTopology), for memory-frontier assertions.
+func (s *DSP) TopologyResidentBytes() int64 { return s.world.TopologyResidentBytes() }
 
 // CacheStats exposes the adaptive cache manager's cumulative accounting.
 func (s *DSP) CacheStats() cache.Stats { return s.cacheMgr.Stats() }

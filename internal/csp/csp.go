@@ -46,6 +46,28 @@ type PatchStore struct {
 	Adj      graph.CSR
 	OnHost   []bool
 	GPUBytes int64
+	// Comp, when non-nil, is the patch's delta/varint encoding: the run was
+	// built from a compressed topology, so resident bytes are charged at the
+	// compressed size and every sampled row pays a decode kernel. The
+	// in-process data plane stays the decoded Adj for correctness.
+	Comp *graph.CompressedCSR
+}
+
+// rowBytes returns the device-resident size of local node v's adjacency row
+// under the active representation.
+func (ps *PatchStore) rowBytes(v graph.NodeID) int64 {
+	if ps.Comp != nil {
+		b := ps.Comp.NodeBytes(v)
+		if ps.Comp.Weights != nil {
+			b += int64(ps.Comp.Degree(v)) * 4
+		}
+		return b
+	}
+	perEdge := int64(4)
+	if ps.Adj.Weights != nil {
+		perEdge = 8
+	}
+	return int64(ps.Adj.Degree(v)) * perEdge
 }
 
 // applyBudget marks the lowest-degree nodes host-resident until the
@@ -54,19 +76,18 @@ func (ps *PatchStore) applyBudget(budget int64) {
 	n := ps.Adj.NumNodes()
 	ps.OnHost = make([]bool, n)
 	total := ps.Adj.TopologyBytes()
+	if ps.Comp != nil {
+		total = ps.Comp.TopologyBytes()
+	}
 	ps.GPUBytes = total
 	if budget <= 0 || total <= budget {
 		return
 	}
 	order := ps.Adj.NodesByDegreeDesc()
-	perEdge := int64(4)
-	if ps.Adj.Weights != nil {
-		perEdge = 8
-	}
 	// Walk from the hottest node down, keeping rows until budget runs out.
 	used := int64(n+1) * 8 // indptr / position list stays resident
 	for _, v := range order {
-		rowBytes := int64(ps.Adj.Degree(v)) * perEdge
+		rowBytes := ps.rowBytes(v)
 		if used+rowBytes <= budget {
 			used += rowBytes
 		} else {
@@ -89,6 +110,15 @@ func (ps *PatchStore) NeighborWeights(v graph.NodeID) []float32 {
 	return ps.Adj.NeighborWeights(ps.Local(v))
 }
 
+// HostStore is the out-of-core tier's view from the sampler (implemented by
+// internal/store): host-resident adjacency reads touch it — paying disk I/O
+// and decode when the block is not resident — and each assembled layer's
+// frontier feeds its proximity-aware prefetcher.
+type HostStore interface {
+	TouchTopology(p *sim.Proc, ids []graph.NodeID)
+	PrefetchTopology(ids []graph.NodeID)
+}
+
 // World is the collective sampling state shared by all sampler workers.
 type World struct {
 	M       *hw.Machine
@@ -96,11 +126,32 @@ type World struct {
 	Offsets []int64
 	Patches []*PatchStore
 
+	// hostStore, when set, is the out-of-core tier below host memory: UVA
+	// reads of host-resident adjacency first ensure the backing block is in
+	// the host block cache (fetching it from the spill device otherwise).
+	hostStore HostStore
+
 	// view, when set, enables degraded-mode sampling: tasks whose owner GPU
 	// is dead are kept on the requesting GPU and executed against the host
 	// master copy of the dead GPU's patch (charged as UVA reads), so sampling
 	// results stay bit-identical while the fleet runs short-handed.
 	view *fault.View
+}
+
+// SetHostStore attaches the out-of-core tier (nil detaches it).
+func (w *World) SetHostStore(hs HostStore) { w.hostStore = hs }
+
+// hostResident reports whether reading v's adjacency goes through host
+// memory: its owner is dead (degraded mode) or its row was spilled by the
+// topology budget. The prefetcher uses it to walk the next sampling frontier
+// without issuing fetches for GPU-resident rows.
+func (w *World) hostResident(v graph.NodeID) bool {
+	o := w.Owner(v)
+	if w.view != nil && !w.view.Alive(o) {
+		return true
+	}
+	ps := w.Patches[o]
+	return ps.OnHost != nil && ps.OnHost[ps.Local(v)]
 }
 
 // SetView makes the world fleet-membership-aware: its communicator
@@ -124,7 +175,7 @@ func (w *World) routeOwner(v graph.NodeID, rank int) int {
 // NewWorld partitions a layout-ordered graph into per-GPU patches and
 // reserves device memory for them. The graph must already be renumbered so
 // GPU g owns ids [offsets[g], offsets[g+1]).
-func NewWorld(m *hw.Machine, g *graph.CSR, offsets []int64) (*World, error) {
+func NewWorld(m *hw.Machine, g graph.Topology, offsets []int64) (*World, error) {
 	return NewWorldBudget(m, g, offsets, 0)
 }
 
@@ -133,11 +184,16 @@ func NewWorld(m *hw.Machine, g *graph.CSR, offsets []int64) (*World, error) {
 // GPU and leave the rest in CPU memory, accessed via UVA during sampling
 // (budget <= 0 caches the full patch). This enables the Figure 10
 // topology/feature cache-split experiment.
-func NewWorldBudget(m *hw.Machine, g *graph.CSR, offsets []int64, topoBudget int64) (*World, error) {
+//
+// When g is a *graph.CompressedCSR the patches stay compressed on the GPU:
+// resident bytes are charged at the encoded size and the sample stage pays a
+// decode kernel per accessed row.
+func NewWorldBudget(m *hw.Machine, g graph.Topology, offsets []int64, topoBudget int64) (*World, error) {
 	n := len(m.GPUs)
 	if len(offsets) != n+1 {
 		return nil, fmt.Errorf("csp: %d offsets for %d GPUs", len(offsets), n)
 	}
+	_, compressed := g.(*graph.CompressedCSR)
 	w := &World{M: m, Comm: comm.New(m), Offsets: offsets}
 	for gpu := 0; gpu < n; gpu++ {
 		lo, hi := graph.NodeID(offsets[gpu]), graph.NodeID(offsets[gpu+1])
@@ -147,6 +203,9 @@ func NewWorldBudget(m *hw.Machine, g *graph.CSR, offsets []int64, topoBudget int
 		}
 		patch := graph.ExtractPatch(g, nodes)
 		ps := &PatchStore{Lo: lo, Hi: hi, Adj: patch.Adj}
+		if compressed {
+			ps.Comp = graph.Compress(&ps.Adj)
+		}
 		ps.applyBudget(topoBudget)
 		if err := m.GPUs[gpu].Reserve(ps.GPUBytes); err != nil {
 			return nil, fmt.Errorf("csp: patch for GPU %d: %w", gpu, err)
@@ -154,6 +213,17 @@ func NewWorldBudget(m *hw.Machine, g *graph.CSR, offsets []int64, topoBudget int
 		w.Patches = append(w.Patches, ps)
 	}
 	return w, nil
+}
+
+// TopologyResidentBytes sums the per-GPU device-resident topology bytes —
+// the compressed encoding when the world was built from one. The memory side
+// of the compression frontier.
+func (w *World) TopologyResidentBytes() int64 {
+	var b int64
+	for _, ps := range w.Patches {
+		b += ps.GPUBytes
+	}
+	return b
 }
 
 // Owner returns the GPU owning global node v (range check over <=8 parts).
@@ -181,7 +251,8 @@ const idBytes = 4
 // runs multiple samplers (each worker group needs its own NCCL
 // communicator, as in the real system).
 func (w *World) Clone() *World {
-	return &World{M: w.M, Comm: comm.New(w.M), Offsets: w.Offsets, Patches: w.Patches}
+	return &World{M: w.M, Comm: comm.New(w.M), Offsets: w.Offsets, Patches: w.Patches,
+		hostStore: w.hostStore}
 }
 
 // SampleBatch collectively samples a mini-batch for this rank's seeds.
@@ -243,6 +314,20 @@ func (w *World) sampleLayers(p *sim.Proc, rank int, seeds []graph.NodeID, cfg sa
 		block := w.sampleLayer(p, rank, dst, counts, cfg, l, peerSeed, fused)
 		blocks = append(blocks, block)
 		dst = block.InputNodes
+		// Proximity-aware prefetch (BGL-style): the next layer will read the
+		// adjacency of this frontier, so warm the out-of-core tier for its
+		// host-resident rows while this rank continues sampling.
+		if w.hostStore != nil && l+1 < cfg.Layers() {
+			var ahead []graph.NodeID
+			for _, v := range dst {
+				if w.hostResident(v) {
+					ahead = append(ahead, v)
+				}
+			}
+			if len(ahead) > 0 {
+				w.hostStore.PrefetchTopology(ahead)
+			}
+		}
 	}
 	for i, j := 0, len(blocks)-1; i < j; i, j = i+1, j-1 {
 		blocks[i], blocks[j] = blocks[j], blocks[i]
@@ -301,16 +386,21 @@ func (w *World) fetchMasses(p *sim.Proc, rank int, dst []graph.NodeID) []massInf
 	// patch are looked up in the host master copy (one UVA item each).
 	replies := make([][]massInfo, n)
 	var work, hostItems int64
+	var hostNodes []graph.NodeID
 	for q := 0; q < n; q++ {
 		work += int64(len(inIDs[q]))
 		for _, v := range inIDs[q] {
 			if w.Owner(v) != rank {
 				hostItems++
+				hostNodes = append(hostNodes, v)
 			}
 		}
 	}
 	if work > 0 {
 		w.M.GPUs[rank].RunKernel(p, hw.KernelSample, work)
+	}
+	if len(hostNodes) > 0 && w.hostStore != nil {
+		w.hostStore.TouchTopology(p, hostNodes)
 	}
 	if hostItems > 0 {
 		w.M.GPUs[rank].UVARead(p, w.M.Fabric, hostItems, massInfoBytes, hw.TrafficSample)
@@ -356,22 +446,37 @@ func (w *World) sampleLayer(p *sim.Proc, rank int, dst []graph.NodeID, counts []
 	// --- sample: one fused kernel over every received task ------------
 	replyCounts := make([][]int32, n)
 	replySamples := make([][]graph.NodeID, n)
-	var fusedWork, hostItems int64
+	var fusedWork, hostItems, decodeBytes int64
+	var hostNodes []graph.NodeID
 	for q := 0; q < n; q++ {
 		for _, t := range inTasks[q] {
 			fusedWork += int64(t.Count)
 			tps := w.Patches[w.Owner(t.Node)]
+			if tps.Comp != nil {
+				decodeBytes += tps.Comp.NodeBytes(tps.Local(t.Node))
+			}
 			if tps != w.Patches[rank] || (tps.OnHost != nil && tps.OnHost[tps.Local(t.Node)]) {
 				// Host-resident adjacency — either spilled by the topology
 				// budget or belonging to a dead GPU's patch (degraded mode
 				// reads the host master copy): the kernel reads the sampled
 				// entries (plus the position lookup) through UVA.
 				hostItems += int64(t.Count) + 1
+				hostNodes = append(hostNodes, t.Node)
 			}
 		}
 	}
+	if len(hostNodes) > 0 && w.hostStore != nil {
+		// The out-of-core tier sits below host memory: host-resident rows
+		// whose backing block was spilled to disk must be fetched (and
+		// decoded) into the host block cache before the UVA read can serve.
+		w.hostStore.TouchTopology(p, hostNodes)
+	}
 	if hostItems > 0 {
 		dev.UVARead(p, w.M.Fabric, hostItems, 4, hw.TrafficSample)
+	}
+	if decodeBytes > 0 {
+		// Compressed patches pay the varint expansion of every accessed row.
+		dev.RunKernel(p, hw.KernelDecode, decodeBytes)
 	}
 	if fused {
 		if fusedWork > 0 {

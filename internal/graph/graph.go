@@ -113,6 +113,9 @@ func FromEdges(n int, src, dst []NodeID) *CSR {
 	if len(src) != len(dst) {
 		panic("graph: src/dst length mismatch")
 	}
+	if err := CheckScale(int64(n), int64(len(src))); err != nil {
+		panic(err)
+	}
 	indptr := make([]int64, n+1)
 	for _, d := range dst {
 		indptr[d+1]++
@@ -222,8 +225,9 @@ type Patch struct {
 }
 
 // ExtractPatch builds a patch for the given owned nodes (must be sorted
-// ascending and unique).
-func ExtractPatch(g *CSR, nodes []NodeID) *Patch {
+// ascending and unique). The source may be flat or compressed; a compressed
+// source yields sorted adjacency lists.
+func ExtractPatch(g Topology, nodes []NodeID) *Patch {
 	p := &Patch{Nodes: nodes}
 	p.Adj.Indptr = make([]int64, len(nodes)+1)
 	var total int64
@@ -235,7 +239,7 @@ func ExtractPatch(g *CSR, nodes []NodeID) *Patch {
 	for _, v := range nodes {
 		p.Adj.Indices = append(p.Adj.Indices, g.Neighbors(v)...)
 	}
-	if g.Weights != nil {
+	if g.Weighted() {
 		p.Adj.Weights = make([]float32, 0, total)
 		for _, v := range nodes {
 			p.Adj.Weights = append(p.Adj.Weights, g.NeighborWeights(v)...)

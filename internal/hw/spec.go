@@ -81,6 +81,10 @@ const (
 	// few threads (the paper notes NVLink saturates with a small thread
 	// count) while the fabric transfer proceeds.
 	KernelComm
+	// KernelDecode expands varint-compressed adjacency bytes (items = encoded
+	// bytes): sequential within a node's list but parallel across nodes,
+	// reaching ~50 GB/s effective — FastSample-style cheap decode.
+	KernelDecode
 )
 
 // kernelProfile captures the cost model of one kernel kind.
@@ -123,6 +127,10 @@ func profileFor(kind KernelKind) kernelProfile {
 	case KernelComm:
 		// Communication kernels need few threads to saturate a link.
 		return kernelProfile{opsPerItem: 1, bytesPerItem: 0, opEff: 1.0, memEff: 1.0, maxThreads: 256}
+	case KernelDecode:
+		// Plateau: 1/(900e9*0.055) ≈ 50 GB/s of encoded bytes; ~6 effective
+		// thread-cycles per byte puts the crossover near 220 threads.
+		return kernelProfile{opsPerItem: 6, bytesPerItem: 1, opEff: 1.0, memEff: 0.055}
 	default:
 		panic("hw: unknown kernel kind")
 	}

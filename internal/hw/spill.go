@@ -1,0 +1,64 @@
+package hw
+
+import "repro/internal/sim"
+
+// SpillSpec describes the simulated device backing the out-of-core graph
+// tier below host memory — an NVMe SSD (or a slower disk) the block store
+// spills topology and feature blocks to when they exceed the host cache
+// budget.
+type SpillSpec struct {
+	Name string
+	// Bandwidth is sustained sequential read bandwidth in bytes/second.
+	Bandwidth float64
+	// Latency is the fixed per-read cost (submission + device access).
+	Latency sim.Time
+	// QueueDepth bounds concurrent in-flight reads; further requests queue
+	// FCFS on the device.
+	QueueDepth int
+}
+
+// NVMeSpill is the default spill device: a datacenter NVMe SSD (~3.2 GB/s
+// sustained reads, ~80 µs access, queue depth 8).
+func NVMeSpill() SpillSpec {
+	return SpillSpec{Name: "nvme", Bandwidth: 3.2e9, Latency: 80e-6, QueueDepth: 8}
+}
+
+// SpillDevice is a SpillSpec instantiated on an engine: reads occupy one of
+// QueueDepth channels for latency + bytes/bandwidth, and counters accumulate
+// for the run report.
+type SpillDevice struct {
+	Spec SpillSpec
+	res  *sim.Resource
+
+	// Reads and BytesRead accumulate over the device lifetime.
+	Reads     int64
+	BytesRead int64
+}
+
+// NewSpillDevice instantiates the device. latencyScale divides the fixed
+// per-read cost the same way the fabric scales link latencies for shrunk
+// benchmark runs (<=1 keeps the spec value); bandwidth is never scaled —
+// block bytes are real.
+func NewSpillDevice(eng *sim.Engine, spec SpillSpec, latencyScale float64) *SpillDevice {
+	if spec.Bandwidth <= 0 {
+		spec = NVMeSpill()
+	}
+	if spec.QueueDepth < 1 {
+		spec.QueueDepth = 1
+	}
+	if latencyScale > 1 {
+		spec.Latency /= sim.Time(latencyScale)
+	}
+	return &SpillDevice{Spec: spec, res: eng.NewResource(spec.QueueDepth)}
+}
+
+// Read charges one block read of the given size, queueing on the device
+// when all channels are busy.
+func (sd *SpillDevice) Read(p *sim.Proc, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	sd.Reads++
+	sd.BytesRead += bytes
+	sd.res.Use(p, 1, sd.Spec.Latency+sim.Time(float64(bytes)/sd.Spec.Bandwidth))
+}

@@ -53,6 +53,8 @@ type RunReport struct {
 	Compression map[string]WireStat `json:"compression,omitempty"`
 
 	Cache *CacheReport `json:"cache,omitempty"`
+	// Store is the out-of-core tier's accounting (runs with -ooc).
+	Store *StoreSection `json:"store,omitempty"`
 
 	// Latency is the end-to-end request latency distribution (serving runs).
 	Latency *LatencySummary `json:"latency,omitempty"`
@@ -98,6 +100,39 @@ type CacheReport struct {
 	MovedBytes    int64   `json:"moved_bytes,omitempty"`
 	Rebalances    int     `json:"rebalances,omitempty"`
 	RebalanceTime float64 `json:"rebalance_time,omitempty"` // seconds
+}
+
+// StoreSection is the out-of-core block store's accounting: the block table
+// (topology + feature blocks over the spill device), cache residency at run
+// end, demand/prefetch traffic, and reader stall time.
+type StoreSection struct {
+	// Blocks is the total block count; TopoBlocks of them hold topology
+	// (compressed when Compressed), the rest feature rows.
+	Blocks     int   `json:"blocks"`
+	TopoBlocks int   `json:"topo_blocks"`
+	BlockBytes int64 `json:"block_bytes"`
+	Compressed bool  `json:"compressed,omitempty"`
+	// CacheBytes is the host block-cache budget; ResidentBytes the bytes
+	// resident at run end; SpilledBytes the remainder on the device.
+	CacheBytes    int64 `json:"cache_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	SpilledBytes  int64 `json:"spilled_bytes"`
+	// Hits/Misses are block touches; DemandBytes were fetched inline by
+	// stalled readers.
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	HitRate     float64 `json:"hit_rate"`
+	DemandBytes int64   `json:"demand_bytes"`
+	// Prefetcher outcome: issued/used counts, their ratio, and bytes moved.
+	PrefetchIssued   int64   `json:"prefetch_issued,omitempty"`
+	PrefetchUsed     int64   `json:"prefetch_used,omitempty"`
+	PrefetchAccuracy float64 `json:"prefetch_accuracy,omitempty"`
+	PrefetchBytes    int64   `json:"prefetch_bytes,omitempty"`
+	// StallTime is virtual time readers spent blocked on fetches; Device*
+	// are the spill device's totals.
+	StallTime   float64 `json:"stall_time"`
+	DeviceReads int64   `json:"device_reads"`
+	DeviceBytes int64   `json:"device_bytes"`
 }
 
 // LatencySummary is a rendered metrics.Histogram: the conventional
@@ -320,6 +355,27 @@ func (r *RunReport) Validate() error {
 	for name, v := range r.Stages {
 		if v < 0 {
 			return fmt.Errorf("prof: negative stage time %s=%g", name, v)
+		}
+	}
+	if s := r.Store; s != nil {
+		if s.Blocks < 0 || s.TopoBlocks < 0 || s.TopoBlocks > s.Blocks {
+			return fmt.Errorf("prof: store block counts inconsistent (blocks %d topo %d)", s.Blocks, s.TopoBlocks)
+		}
+		if s.Hits < 0 || s.Misses < 0 {
+			return fmt.Errorf("prof: negative store hit/miss counts (%d/%d)", s.Hits, s.Misses)
+		}
+		if s.ResidentBytes < 0 || s.ResidentBytes > s.BlockBytes {
+			return fmt.Errorf("prof: store resident bytes %d outside [0, %d]", s.ResidentBytes, s.BlockBytes)
+		}
+		if s.ResidentBytes+s.SpilledBytes != s.BlockBytes {
+			return fmt.Errorf("prof: store resident %d + spilled %d != block bytes %d",
+				s.ResidentBytes, s.SpilledBytes, s.BlockBytes)
+		}
+		if s.PrefetchUsed > s.PrefetchIssued {
+			return fmt.Errorf("prof: store prefetch used %d > issued %d", s.PrefetchUsed, s.PrefetchIssued)
+		}
+		if s.StallTime < 0 {
+			return fmt.Errorf("prof: negative store stall time %g", s.StallTime)
 		}
 	}
 	if f := r.Fleet; f != nil {

@@ -177,8 +177,10 @@ func (c Config) Layers() int { return len(c.Fanout) }
 
 // Reference samples a mini-batch on a single address space — the oracle the
 // distributed CSP implementation must match exactly, and the kernel the
-// single-GPU / CPU baselines execute.
-func Reference(g *graph.CSR, seeds []graph.NodeID, cfg Config, batchSeed uint64) *MiniBatch {
+// single-GPU / CPU baselines execute. It consumes the Topology interface, so
+// flat and compressed graphs sample identically when their adjacency lists
+// agree (compressed lists are canonically sorted; see graph.Sorted).
+func Reference(g graph.Topology, seeds []graph.NodeID, cfg Config, batchSeed uint64) *MiniBatch {
 	mb := &MiniBatch{Seeds: seeds, Seed: batchSeed}
 	dst := seeds
 	blocks := make([]*Block, 0, cfg.Layers())
@@ -200,7 +202,7 @@ func Reference(g *graph.CSR, seeds []graph.NodeID, cfg Config, batchSeed uint64)
 	return mb
 }
 
-func sampleNodeWise(g *graph.CSR, dst []graph.NodeID, layer int, cfg Config, batchSeed uint64) *Block {
+func sampleNodeWise(g graph.Topology, dst []graph.NodeID, layer int, cfg Config, batchSeed uint64) *Block {
 	counts := make([]int32, len(dst))
 	var samples []graph.NodeID
 	fanout := cfg.Fanout[layer]
@@ -213,9 +215,9 @@ func sampleNodeWise(g *graph.CSR, dst []graph.NodeID, layer int, cfg Config, bat
 }
 
 // DrawNode draws the neighbour sample for one (node, layer) on a full-graph
-// CSR. It delegates to DrawAdj with v as both the adjacency index and the
-// seeding id.
-func DrawNode(g *graph.CSR, v graph.NodeID, layer int, fanout int, cfg Config, batchSeed uint64, out []graph.NodeID) []graph.NodeID {
+// topology. It delegates to DrawAdj with v as both the adjacency index and
+// the seeding id.
+func DrawNode(g graph.Topology, v graph.NodeID, layer int, fanout int, cfg Config, batchSeed uint64, out []graph.NodeID) []graph.NodeID {
 	return DrawAdj(g.Neighbors(v), g.NeighborWeights(v), v, layer, fanout, cfg, batchSeed, out)
 }
 
@@ -240,7 +242,7 @@ func DrawAdj(adj []graph.NodeID, weights []float32, globalID graph.NodeID, layer
 // sampleLayerWise implements Eq. (2): split the layer budget across the
 // frontier proportionally to neighbour weight mass, then node-wise sample
 // the assigned counts.
-func sampleLayerWise(g *graph.CSR, dst []graph.NodeID, layer int, cfg Config, batchSeed uint64) *Block {
+func sampleLayerWise(g graph.Topology, dst []graph.NodeID, layer int, cfg Config, batchSeed uint64) *Block {
 	masses := make([]float64, len(dst))
 	for i, v := range dst {
 		masses[i] = g.WeightSum(v)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Report summarises one serving run. All quantities are deterministic
@@ -57,6 +58,10 @@ type Report struct {
 	PromotedRows   int64
 	RebalanceBytes int64
 	RebalanceTime  sim.Time
+
+	// StoreStats is the out-of-core tier's accounting (zero without
+	// Config.OOC).
+	StoreStats store.Stats
 
 	// Wire traffic totals accumulated over the run (wire bytes) and the
 	// per-traffic-class codec accounting of the run's communicators.
@@ -136,6 +141,9 @@ func (s *Server) report(end sim.Time) *Report {
 		SLO:             s.cfg.SLO,
 		Killed:          s.dead,
 		KilledAt:        s.killedAt,
+	}
+	if s.hostStore != nil {
+		r.StoreStats = s.hostStore.Stats()
 	}
 	for _, h := range s.latency {
 		r.Latency.Merge(h)
@@ -222,6 +230,11 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "\ncache %s  rebalances %d  promoted %d rows  migrated %.2f MB  overhead %.3fms",
 			r.CachePolicy, r.Rebalances, r.PromotedRows,
 			float64(r.RebalanceBytes)/1e6, 1e3*float64(r.RebalanceTime))
+	}
+	if ss := r.StoreStats; ss.Hits+ss.Misses > 0 {
+		fmt.Fprintf(&b, "\nooc store  hit %.1f%%  demand %.2f MB  prefetch acc %.1f%%  stall %.3fms",
+			100*ss.HitRate(), float64(ss.DemandBytes)/1e6,
+			100*ss.PrefetchAccuracy(), 1e3*float64(ss.StallTime))
 	}
 	if r.Killed {
 		fmt.Fprintf(&b, "\nfleet killed at %.3fs  lost %d", float64(r.KilledAt), r.Lost)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"repro/internal/prof"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -49,6 +50,7 @@ func (r *Report) RunReport(meta ReportMeta) *prof.RunReport {
 			RebalanceTime: float64(r.RebalanceTime),
 		}
 	}
+	out.Store = store.Section(r.StoreStats)
 	sv := ServingRunReport(r)
 	out.Serving = &sv
 	if len(r.Recoveries) > 0 || len(r.DeadGPUs) > 0 {

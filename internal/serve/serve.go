@@ -36,6 +36,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sample"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
@@ -126,6 +127,17 @@ type Config struct {
 
 	FeatureCacheBudget int64
 	TopoCacheBudget    int64
+	// CompressTopology stores the partitioned topology varint-compressed
+	// (resident bytes at the encoded size, a decode kernel per sampled row).
+	CompressTopology bool
+	// OOC enables the out-of-core tier below host memory (internal/store);
+	// OOCBudget is its block-cache byte budget (<=0: half the block bytes)
+	// and OOCNoPrefetch disables the proximity-aware prefetcher.
+	OOC           bool
+	OOCBudget     int64
+	OOCNoPrefetch bool
+	// OOCBlockNodes overrides the store block width in nodes (0 = default).
+	OOCBlockNodes int
 	// CachePolicy selects the hot-node criterion (0 = by degree).
 	CachePolicy int
 	// DynamicCache selects the adaptive cache policy (cache.Static keeps the
@@ -297,16 +309,17 @@ type execItem struct {
 // Server is a configured single-run serving instance. Build with NewServer,
 // execute with Run (or use the Serve convenience wrapper).
 type Server struct {
-	cfg      Config
-	m        *hw.Machine
-	world    *csp.World
-	store    *featstore.Store
-	cacheMgr *cache.Manager
-	coord    *pipeline.Coordinator
-	execComm *comm.Communicator
-	workload *Workload
-	models   []*nn.Model
-	overhead sim.Time
+	cfg       Config
+	m         *hw.Machine
+	world     *csp.World
+	store     *featstore.Store
+	hostStore *store.Store
+	cacheMgr  *cache.Manager
+	coord     *pipeline.Coordinator
+	execComm  *comm.Communicator
+	workload  *Workload
+	models    []*nn.Model
+	overhead  sim.Time
 
 	// fault tolerance
 	inj  *fault.Injector
@@ -381,11 +394,28 @@ func NewServer(cfg Config) (*Server, error) {
 	if topoBudget <= 0 {
 		topoBudget = cfg.GPU.MemBytes * 6 / 10
 	}
-	world, err := csp.NewWorldBudget(s.m, d.G, d.Offsets, topoBudget)
+	var topo graph.Topology = d.G
+	if cfg.CompressTopology {
+		topo = graph.Compress(d.G)
+	}
+	world, err := csp.NewWorldBudget(s.m, topo, d.Offsets, topoBudget)
 	if err != nil {
 		return nil, fmt.Errorf("serve: topology layout: %w", err)
 	}
 	s.world = world
+	if cfg.OOC {
+		hs, err := store.New(s.m.Eng, topo, d.G.NumNodes(), d.RowBytes(), store.Config{
+			BlockNodes:   cfg.OOCBlockNodes,
+			CacheBytes:   cfg.OOCBudget,
+			Prefetch:     !cfg.OOCNoPrefetch,
+			LatencyScale: cfg.LatencyScale,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: out-of-core store: %w", err)
+		}
+		s.hostStore = hs
+		s.world.SetHostStore(hs)
+	}
 
 	budget := cfg.FeatureCacheBudget
 	if budget <= 0 {
@@ -1026,9 +1056,21 @@ func (s *Server) loadFeatures(p *sim.Proc, g int, mb *sample.MiniBatch, rc *cach
 	rc.Add(cache.CountTiers(local, remote, host))
 	n := s.execComm.N
 
+	// Feature tier of the frontier walk: prefetch the host rows' blocks
+	// (non-blocking, MaxInflight-way parallel) so spill reads overlap the
+	// NVLink exchange instead of serialising in the UVA side path.
+	if s.hostStore != nil && len(host) > 0 {
+		s.hostStore.PrefetchFeatures(host)
+	}
+
 	uvaDone := s.m.Eng.NewEvent()
 	if len(host) > 0 {
 		s.m.Eng.Go(fmt.Sprintf("gpu%d/serve-uva", g), func(cp *sim.Proc) {
+			// Host rows must be block-cache-resident before UVA reads them;
+			// the out-of-core tier stalls this side path on spill fetches.
+			if s.hostStore != nil {
+				s.hostStore.TouchFeatures(cp, host)
+			}
 			dev.UVARead(cp, s.m.Fabric, int64(len(host)), d.RowBytes(), hw.TrafficFeature)
 			uvaDone.Trigger()
 		})

@@ -1,0 +1,32 @@
+package store
+
+import "repro/internal/prof"
+
+// Section converts the tier's accounting to the dsp-runreport/1 store
+// section. Returns nil when the store saw no traffic, so fully-in-memory
+// runs omit the section.
+func Section(st Stats) *prof.StoreSection {
+	if st.Hits+st.Misses == 0 && st.PrefetchIssued == 0 {
+		return nil
+	}
+	return &prof.StoreSection{
+		Blocks:           st.Blocks,
+		TopoBlocks:       st.TopoBlocks,
+		BlockBytes:       st.BlockBytes,
+		Compressed:       st.Compressed,
+		CacheBytes:       st.CacheBytes,
+		ResidentBytes:    st.ResidentBytes,
+		SpilledBytes:     st.SpilledBytes,
+		Hits:             st.Hits,
+		Misses:           st.Misses,
+		HitRate:          st.HitRate(),
+		DemandBytes:      st.DemandBytes,
+		PrefetchIssued:   st.PrefetchIssued,
+		PrefetchUsed:     st.PrefetchUsed,
+		PrefetchAccuracy: st.PrefetchAccuracy(),
+		PrefetchBytes:    st.PrefetchBytes,
+		StallTime:        float64(st.StallTime),
+		DeviceReads:      st.DeviceReads,
+		DeviceBytes:      st.DeviceBytes,
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/prof"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -31,6 +32,9 @@ type ReportInput struct {
 	// Compression is the merged codec accounting of the run's communicators
 	// (see core.DSP.Compression).
 	Compression map[hw.TrafficClass]comm.CompressionStats
+	// Store is the out-of-core tier's cumulative accounting (zero Stats
+	// without -ooc; the section is omitted when it saw no traffic).
+	Store store.Stats
 }
 
 // BuildRunReport renders a training run into the versioned RunReport schema.
@@ -155,6 +159,7 @@ func BuildRunReport(in ReportInput) *prof.RunReport {
 		}
 		r.Faults = fr
 	}
+	r.Store = store.Section(in.Store)
 	if in.Tracer.Enabled() {
 		r.Profile = prof.Analyze(prof.FromTracer(in.Tracer))
 	}

@@ -152,6 +152,14 @@ type EpochStats struct {
 	// added to the epoch. All zero under the static policy.
 	CachePromoted, RebalanceBytes int64
 	RebalanceTime                 sim.Time
+	// Out-of-core store activity for the epoch (OOC runs only; zero
+	// otherwise): block-touch hits/misses against the host block cache,
+	// demand bytes fetched inline from the spill device, prefetcher
+	// issue/used counts, and the virtual time readers stalled on fetches.
+	StoreHits, StoreMisses                 int64
+	StoreDemandBytes                       int64
+	StorePrefetchIssued, StorePrefetchUsed int64
+	StoreStall                             sim.Time
 	// Stage time totals (virtual seconds summed across ranks and steps,
 	// including the host-side stage overhead): how long the epoch spent in
 	// each worker. Under the pipeline these overlap, so their sum exceeds
@@ -223,6 +231,25 @@ type Options struct {
 	// CacheTune tunes the adaptive manager (decay, move cap, degree
 	// weight); zero values take the cache package defaults.
 	CacheTune cache.Config
+	// CompressTopology stores the partitioned topology varint-compressed
+	// (delta-sorted gap encoding, internal/graph.CompressedCSR): resident
+	// topology bytes shrink ~4x and sampling pays a decode kernel per
+	// accessed adjacency row.
+	CompressTopology bool
+	// OOC enables the out-of-core tier (internal/store): topology and
+	// feature blocks live on a simulated NVMe spill device below host
+	// memory, with an LRU block cache and a proximity-aware prefetcher that
+	// walks the sampling frontier.
+	OOC bool
+	// OOCBudget is the host block-cache byte budget (<=0: half the block
+	// bytes, forcing real spill traffic).
+	OOCBudget int64
+	// OOCNoPrefetch disables the prefetcher (the ooc-sweep ablation arm).
+	OOCNoPrefetch bool
+	// OOCBlockNodes overrides the store's block width in nodes (0 = the
+	// store's default). Experiments on shrunken stand-ins lower it so the
+	// block count stays in the regime a full-scale graph would see.
+	OOCBlockNodes int
 	// PullData switches CSP to the data-pull paradigm (Figure 11 ablation).
 	PullData bool
 	// UnfusedSampling switches CSP's sample stage to one kernel per task —

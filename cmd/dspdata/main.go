@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/cliopts"
+	"repro/internal/featstore"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/graphio"
@@ -53,6 +54,7 @@ func main() {
 			os.Exit(1)
 		}
 		previewMemory(td.G)
+		previewFeatureLayouts(td)
 		previewWorkload(td, *skew, sim.Time(*drift), *draws, *phases, *seed)
 		return
 	}
@@ -110,6 +112,26 @@ func previewMemory(g *graph.CSR) {
 	fmt.Printf("  flat CSR       %8.1f MB\n", float64(flat)/(1<<20))
 	fmt.Printf("  compressed     %8.1f MB  (%.2fx smaller, delta-sorted varint)\n",
 		float64(comp)/(1<<20), ratio)
+}
+
+// previewFeatureLayouts prints the per-GPU resident feature bytes under the
+// two execution-strategy layouts — row partition (-strategy dsp: each GPU
+// holds its patch's rows at full width) versus dimension slices (-strategy
+// p3: each GPU holds every row of an F/world column slice) — so an operator
+// can see which layout fits the fleet before picking a strategy.
+func previewFeatureLayouts(td *train.Data) {
+	n := td.NumGPUs()
+	fmt.Printf("feature layouts: %d rows x dim %d (%.1f MB total)\n",
+		td.G.NumNodes(), td.FeatDim,
+		float64(td.G.NumNodes())*float64(td.RowBytes())/(1<<20))
+	ds := featstore.BuildDimSliced(td.Feats, td.FeatDim, n)
+	for g := 0; g < n; g++ {
+		rows := int64(td.Offsets[g+1] - td.Offsets[g])
+		rowBytes := rows * int64(td.RowBytes())
+		fmt.Printf("  gpu%d: rows [%d,%d) %8.1f MB row-partitioned (dsp)  |  %d cols %8.1f MB dim-sliced (p3)\n",
+			g, td.Offsets[g], td.Offsets[g+1], float64(rowBytes)/(1<<20),
+			ds.SliceDim(g), float64(ds.CacheBytes(g))/(1<<20))
+	}
 }
 
 // previewWorkload samples the serving popularity distribution per drift phase

@@ -141,6 +141,12 @@ func cmdSummary(args []string) error {
 			fmt.Printf("cache hit %.1f%% (local %d, peer %d, host %d)\n",
 				100*r.Cache.HitRate, r.Cache.Local, r.Cache.Peer, r.Cache.Host)
 		}
+		if s := r.Strategy; s != nil {
+			fmt.Printf("strategy %s: feature dim %d, slices %v\n", s.Name, s.FeatureDim, s.SliceDims)
+			fmt.Printf("strategy %s: push %.2f MB  pull %.2f MB  partial %.3g flops  reduce %.2f MB  sharded params %d\n",
+				s.Name, float64(s.PushBytes)/1e6, float64(s.PullBytes)/1e6,
+				float64(s.PartialFlops), float64(s.ReduceBytes)/1e6, s.ShardedParams)
+		}
 		if s := r.Store; s != nil {
 			comp := ""
 			if s.Compressed {

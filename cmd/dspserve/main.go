@@ -161,6 +161,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
 		os.Exit(2)
 	}
+	kind, err := common.StrategyKind()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+		os.Exit(2)
+	}
 	featCodec, err := common.FeatCodec(*seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
@@ -187,6 +192,7 @@ func main() {
 		RebalanceEvery:     sim.Time(*rebEvery),
 		DriftEvery:         sim.Time(*drift),
 		FeatCodec:          featCodec,
+		Strategy:           string(kind),
 		Faults:             faults,
 		Tenants:            tenants,
 		SLO:                fleetOpts.SLO(),

@@ -35,8 +35,10 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/hw"
 	"repro/internal/nn"
+	"repro/internal/prof"
 	"repro/internal/sample"
 	"repro/internal/store"
+	"repro/internal/strategy"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
@@ -119,6 +121,16 @@ func main() {
 		os.Exit(2)
 	}
 	opts.FeatureCacheBudget = common.CacheBudget()
+	kind, err := common.StrategyKind()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+		os.Exit(2)
+	}
+	if kind == strategy.KindP3 && strings.ToLower(*sysName) != "dsp" {
+		fmt.Fprintf(os.Stderr, "dsptrain: -strategy p3 requires -system dsp\n")
+		os.Exit(2)
+	}
+	opts.Strategy = string(kind)
 	if opts.GradCodec, err = common.GradCodec(*seed); err != nil {
 		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
 		os.Exit(2)
@@ -253,7 +265,7 @@ func main() {
 			CachePolicy: opts.DynamicCache,
 			Epochs:      rep.Epochs, FT: rep,
 			Tracer: tracer, Compression: compressionOf(sys),
-			Store: oocStatsOf(sys),
+			Store: oocStatsOf(sys), Strategy: strategySectionOf(sys),
 		})); err != nil {
 			fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
 			os.Exit(1)
@@ -300,7 +312,7 @@ func main() {
 		CachePolicy: opts.DynamicCache,
 		Epochs:      allStats, ValAcc: valAccs,
 		Tracer: tracer, Compression: compressionOf(sys),
-		Store: oocStatsOf(sys),
+		Store: oocStatsOf(sys), Strategy: strategySectionOf(sys),
 	})); err != nil {
 		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
 		os.Exit(1)
@@ -324,6 +336,16 @@ func oocStatsOf(sys train.System) store.Stats {
 		return h.OOCStats()
 	}
 	return store.Stats{}
+}
+
+// strategySectionOf extracts the execution strategy's report section from
+// systems that carry one (DSP; nil for the default dsp strategy, whose
+// reports stay byte-identical to the pre-strategy-layer schema).
+func strategySectionOf(sys train.System) *prof.StrategySection {
+	if h, ok := sys.(interface{ StrategySection() *prof.StrategySection }); ok {
+		return h.StrategySection()
+	}
+	return nil
 }
 
 // compressionOf extracts codec accounting from systems that track it (DSP).

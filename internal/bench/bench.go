@@ -249,6 +249,9 @@ func buildSystem(name string, opts train.Options) (train.System, error) {
 	case "DSP-Seq":
 		opts.Pipeline = false
 		return core.New(opts)
+	case "P3":
+		opts.Strategy = "p3"
+		return core.New(opts)
 	case "PyG":
 		return baselines.New(baselines.PyG, opts)
 	case "DGL-CPU":
@@ -318,6 +321,7 @@ var Experiments = map[string]func(w io.Writer, cfg RunConfig) error{
 	"router-sweep":      runnerFor(RouterSweep),
 	"compress-sweep":    runnerFor(CompressSweep),
 	"ooc-sweep":         runnerFor(OOCSweep),
+	"strategy-sweep":    runnerFor(StrategySweep),
 	"perf":              Perf,
 }
 

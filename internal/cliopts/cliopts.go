@@ -17,6 +17,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/strategy"
 )
 
 // Common holds the flag values shared by every binary that drives the
@@ -29,6 +30,7 @@ type Common struct {
 	compressFeat *string
 	compressGrad *string
 	report       *string
+	strategy     *string
 }
 
 // Register installs the shared flags on fs and returns the bound Common.
@@ -44,6 +46,8 @@ func Register(fs *flag.FlagSet) *Common {
 		"feature-transfer codec: none, fp32, fp16, int8, topk[:ratio] (NVLink replies and NIC sends)")
 	c.report = fs.String("report", "",
 		"write the machine-readable run report ("+prof.Schema+" JSON) to this file")
+	c.strategy = fs.String("strategy", "dsp",
+		"execution strategy: dsp (paper layout: partitioned features, hot/cold gather) or p3 (dimension-partitioned features, push-pull layer 1)")
 	return c
 }
 
@@ -121,6 +125,26 @@ func (c *Common) Policy() (cache.Policy, error) {
 
 // CacheBudget returns the -cache-budget value.
 func (c *Common) CacheBudget() int64 { return *c.cacheBudget }
+
+// StrategyKind resolves the -strategy flag and rejects flag combinations the
+// p3 layout cannot honour: row-cache policies and budgets act on the hot/cold
+// row split, which a dimension-sliced store does not have.
+func (c *Common) StrategyKind() (strategy.Kind, error) {
+	kind, err := strategy.Parse(*c.strategy)
+	if err != nil {
+		return kind, err
+	}
+	if kind == strategy.KindP3 {
+		pol, perr := c.Policy()
+		if perr == nil && pol != cache.Static {
+			return kind, fmt.Errorf("cliopts: -strategy p3 is incompatible with -cache %s: the dimension-sliced layout has no rows to promote or rebalance (use -cache static)", pol)
+		}
+		if c.CacheBudget() > 0 {
+			return kind, fmt.Errorf("cliopts: -strategy p3 ignores -cache-budget: each GPU holds the full [#nodes, F/world] slice")
+		}
+	}
+	return kind, nil
+}
 
 // FeatCodec resolves the -compress-feat flag; the seed drives stochastic
 // codecs so runs stay reproducible.

@@ -51,6 +51,13 @@ type Opts struct {
 	// Codec.WireBytes and received values are round-tripped through the
 	// codec. Only valid for float32 payloads; collectives panic otherwise.
 	Codec compress.Codec
+	// PriceElems, when positive, caps the element count the WIRE is charged
+	// for in AllReduceSum while the full vector still moves and reduces —
+	// the values are untouched. This models parameter shards that are
+	// replica-local and never ride the ring (P3's dimension-sharded first
+	// layer): the BSP sum stays bitwise identical across strategies, only
+	// the bill shrinks. Ignored by the other collectives.
+	PriceElems int
 }
 
 // Raw returns Opts for an uncompressed payload of elemBytes-sized elements.
@@ -381,9 +388,13 @@ func (c *Communicator) AllReduceSum(p *sim.Proc, rank int, data []float32, o Opt
 	if c.view != nil {
 		next = c.view.NextLive(rank)
 	}
-	wire := o.wireBytes(len(data))
+	priced := len(data)
+	if o.PriceElems > 0 && o.PriceElems < priced {
+		priced = o.PriceElems
+	}
+	wire := o.wireBytes(priced)
 	if o.Codec == nil && o.ElemBytes == 0 {
-		wire = 4 * int64(len(data)) // allreduce payloads are always float32
+		wire = 4 * int64(priced) // allreduce payloads are always float32
 	}
 	chunk := wire / int64(live)
 	if chunk < 1 {
@@ -392,7 +403,7 @@ func (c *Communicator) AllReduceSum(p *sim.Proc, rank int, data []float32, o Opt
 	for step := 0; step < 2*(live-1); step++ {
 		dev.Transfer(p, c.Machine.Fabric, next, chunk, o.Class)
 	}
-	c.recordCompression(rank, o, len(data))
+	c.recordCompression(rank, o, priced)
 	c.arrive(p, rank)
 	copy(data, sum)
 	c.arrive(p, rank)

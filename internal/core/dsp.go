@@ -28,9 +28,11 @@ import (
 	"repro/internal/hw"
 	"repro/internal/nn"
 	"repro/internal/pipeline"
+	"repro/internal/prof"
 	"repro/internal/sample"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/strategy"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
@@ -58,14 +60,14 @@ type DSP struct {
 	sched      train.Schedule
 	inj        *fault.Injector
 
+	// strat owns the per-round gather/forward/backward orchestration
+	// (internal/strategy): the migrated DSP path or the P3 push-pull mode.
+	strat strategy.ExecutionStrategy
+
 	// Multi-instance worker state (paper §5 ablation): extra sampler
 	// worlds and loader communicators, one per instance.
 	worlds      []*csp.World
 	loaderComms []*comm.Communicator
-
-	// zeros backs loader reply payloads (transfer timing without copying
-	// real rows twice).
-	zeros []float32
 }
 
 // New builds a DSP instance: machine, partitioned topology, feature cache,
@@ -74,6 +76,27 @@ func New(opts train.Options) (*DSP, error) {
 	opts = opts.Defaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+	kind, err := strategy.Parse(opts.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if kind == strategy.KindP3 {
+		// The P3 layout has no hot/cold rows and no per-row holders, so the
+		// row-cache machinery and the degraded-mode re-routing built on it
+		// do not apply. Reject loudly rather than silently misconfiguring.
+		switch {
+		case opts.ReplicatedCache:
+			return nil, fmt.Errorf("core: -strategy p3 is incompatible with the replicated cache (features are dimension-sliced, not row-cached)")
+		case opts.DynamicCache != cache.Static:
+			return nil, fmt.Errorf("core: -strategy p3 is incompatible with dynamic cache policy %v (the dimension-sliced layout has no rows to rebalance)", opts.DynamicCache)
+		case opts.FeatureCacheBudget > 0:
+			return nil, fmt.Errorf("core: -strategy p3 ignores the feature cache budget: each GPU holds the full [#nodes, F/world] slice")
+		case len(opts.Faults) > 0:
+			return nil, fmt.Errorf("core: -strategy p3 does not support fault injection (no per-row holders to re-route around)")
+		case opts.NumSamplers > 1 || opts.NumLoaders > 1:
+			return nil, fmt.Errorf("core: -strategy p3 does not support multi-instance workers")
+		}
 	}
 	d := opts.Data
 	n := d.NumGPUs()
@@ -154,9 +177,15 @@ func New(opts train.Options) (*DSP, error) {
 		budget = s.minFreeMem() * 9 / 10 // leave headroom for activations
 	}
 	policy := featstore.Policy(opts.CachePolicy)
-	if opts.ReplicatedCache {
+	switch {
+	case kind == strategy.KindP3:
+		// P3: every GPU holds a full-row [#Nodes, F/world] column slice —
+		// no hot/cold split, no budget knob; the slab either fits or the
+		// Reserve below fails.
+		s.store = featstore.BuildDimSliced(d.Feats, d.FeatDim, n)
+	case opts.ReplicatedCache:
 		s.store = featstore.BuildReplicated(d.G, d.Feats, d.FeatDim, n, budget, policy)
-	} else {
+	default:
 		s.store = featstore.BuildPartitioned(d.G, d.Feats, d.FeatDim, d.Offsets, budget, policy)
 	}
 	for g := 0; g < n; g++ {
@@ -193,6 +222,11 @@ func New(opts train.Options) (*DSP, error) {
 		trainerComm.SetGate(s.coord.Gate(nS + nL))
 	}
 	s.trainer = train.NewTrainer(opts, trainerComm)
+	if kind == strategy.KindP3 {
+		s.strat = strategy.NewP3(opts, s.m, s.store, s.trainer)
+	} else {
+		s.strat = strategy.NewDSP(opts, s.m, s.cacheMgr, s.hostStore, s.trainer)
+	}
 	s.sched = train.NewSchedule(d, opts.BatchSize)
 	if len(opts.Faults) > 0 {
 		inj, err := fault.NewInjector(s.m, opts.Faults)
@@ -217,11 +251,22 @@ func (s *DSP) minFreeMem() int64 {
 
 // Name implements train.System.
 func (s *DSP) Name() string {
+	if s.strat != nil && s.strat.Kind() == strategy.KindP3 {
+		return "DSP-P3"
+	}
 	if s.Opts.Pipeline {
 		return "DSP"
 	}
 	return "DSP-Seq"
 }
+
+// Strategy exposes the active execution strategy.
+func (s *DSP) Strategy() strategy.ExecutionStrategy { return s.strat }
+
+// StrategySection reports the strategy's wire/compute accounting for the
+// run report (nil for the default DSP strategy, whose accounting already
+// flows through the existing sections).
+func (s *DSP) StrategySection() *prof.StrategySection { return s.strat.Section() }
 
 // Machine implements train.System.
 func (s *DSP) Machine() *hw.Machine { return s.m }
@@ -266,12 +311,6 @@ func (s *DSP) Compression() map[hw.TrafficClass]comm.CompressionStats {
 	return out
 }
 
-// loaded is the loader-to-trainer payload.
-type loaded struct {
-	mb    *sample.MiniBatch
-	feats []float32
-}
-
 // sampleStage builds the step's graph samples via CSP (or the data-pull
 // alternative when the Figure 11 ablation is selected).
 func (s *DSP) sampleStage(p *sim.Proc, rank, epoch, step int) *sample.MiniBatch {
@@ -293,90 +332,12 @@ func (s *DSP) sampleStageWith(p *sim.Proc, rank, epoch, step int, w *csp.World) 
 	return mb
 }
 
-// zeroRows returns a zero-backed payload standing in for rows feature rows
-// (cost-only mode sends these so transfer timing stays exact without
-// copying real rows twice).
-func (s *DSP) zeroRows(rows int) []float32 {
-	need := rows * s.Opts.Data.FeatDim
-	if cap(s.zeros) < need {
-		s.zeros = make([]float32, need)
-	}
-	return s.zeros[:need]
-}
-
-// loadStage fetches features for the sampled batch: local cache hits via a
-// gather kernel, remote hot rows via all-to-all over NVLink, cold rows via
-// UVA — hot and cold fetches run in parallel on different links, as in the
-// paper.
-func (s *DSP) loadStage(p *sim.Proc, rank int, mb *sample.MiniBatch) loaded {
-	return s.loadStageWith(p, rank, mb, s.loaderComm)
-}
-
-func (s *DSP) loadStageWith(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *comm.Communicator) loaded {
-	d := s.Opts.Data
-	dev := s.m.GPUs[rank]
-	ids := mb.InputNodes()
-	// The manager's Split records row hotness for the epoch-boundary
-	// rebalancer and re-routes dead-holder rows to the host tier.
-	local, remote, host := s.cacheMgr.Split(ids, rank)
-	s.cacheMgr.Account(rank, cache.CountTiers(local, remote, host))
-	n := lc.N
-
-	// Feature tier of the frontier walk: the split names exactly the
-	// host-tier rows the UVA side path is about to read — prefetch their
-	// blocks now (MaxInflight-way parallel, non-blocking) so the spill reads
-	// overlap the NVLink path instead of serialising in the toucher.
-	if s.hostStore != nil && len(host) > 0 {
-		s.hostStore.PrefetchFeatures(host)
-	}
-
-	// Cold rows via UVA, concurrently with the NVLink path.
-	uvaDone := s.m.Eng.NewEvent()
-	if len(host) > 0 {
-		s.m.Eng.Go(fmt.Sprintf("gpu%d/uva", rank), func(cp *sim.Proc) {
-			// Host rows must be cache-resident before UVA can read them:
-			// the out-of-core tier stalls this side path (not the NVLink
-			// path) on any spill-device fetch.
-			if s.hostStore != nil {
-				s.hostStore.TouchFeatures(cp, host)
-			}
-			dev.UVARead(cp, s.m.Fabric, int64(len(host)), d.RowBytes(), hw.TrafficFeature)
-			uvaDone.Trigger()
-		})
-	} else {
-		uvaDone.Trigger()
-	}
-
-	// Local cache hits: one gather kernel.
-	if len(local) > 0 {
-		dev.RunKernel(p, hw.KernelGather, int64(len(local))*int64(d.RowBytes()))
-	}
-
-	// Remote hot rows: request ids, owners gather, rows come back.
-	if n > 1 {
-		reqIn := comm.AllToAll(lc, p, rank, remote, comm.Raw(4, hw.TrafficFeature))
-		var served int64
-		for q := 0; q < n; q++ {
-			served += int64(len(reqIn[q]))
-		}
-		if served > 0 {
-			dev.RunKernel(p, hw.KernelGather, served*int64(d.RowBytes()))
-		}
-		replies := make([][]float32, n)
-		for q := 0; q < n; q++ {
-			replies[q] = s.zeroRows(len(reqIn[q]))
-		}
-		comm.AllToAll(lc, p, rank, replies, comm.Compressed(s.Opts.FeatCodec, hw.TrafficFeature))
-	}
-
-	uvaDone.Wait(p)
-	// Assemble the contiguous input-feature buffer.
-	dev.RunKernel(p, hw.KernelGather, int64(len(ids))*int64(d.RowBytes()))
-	var feats []float32
-	if s.Opts.RealCompute {
-		feats = train.GatherFeatures(d, mb)
-	}
-	return loaded{mb: mb, feats: feats}
+// loadStage runs the active strategy's gather/exchange for the sampled
+// batch: DSP's tiered feature fetch (local gather kernel, NVLink all-to-all
+// for remote hot rows, UVA for cold rows in parallel) or P3's push-pull
+// activation exchange. The orchestration bodies live in internal/strategy.
+func (s *DSP) loadStage(p *sim.Proc, rank int, mb *sample.MiniBatch) strategy.Loaded {
+	return s.strat.Load(p, rank, mb, s.loaderComm)
 }
 
 // RunEpoch implements train.System.
@@ -411,8 +372,7 @@ func (s *DSP) RunEpochRange(epoch, from, to int) (train.EpochStats, error) {
 					return s.loadStage(p, rank, v.(*sample.MiniBatch))
 				},
 				Train: func(p *sim.Proc, step int, v interface{}) {
-					l := v.(loaded)
-					s.trainer.Step(p, s.m.GPUs[rank], rank, l.mb, l.feats, st)
+					s.strat.Train(p, rank, v.(strategy.Loaded), st)
 				},
 			}
 		})
@@ -547,13 +507,12 @@ func (s *DSP) runEpochMulti(epoch int) (train.EpochStats, error) {
 			lc := lc
 			ms.Loaders = append(ms.Loaders, func(p *sim.Proc, step int, v interface{}) interface{} {
 				p.Sleep(overhead)
-				return s.loadStageWith(p, rank, v.(*sample.MiniBatch), lc)
+				return s.strat.Load(p, rank, v.(*sample.MiniBatch), lc)
 			})
 		}
 		ms.Train = func(p *sim.Proc, step int, v interface{}) {
 			p.Sleep(overhead)
-			l := v.(loaded)
-			s.trainer.Step(p, s.m.GPUs[rank], rank, l.mb, l.feats, st)
+			s.strat.Train(p, rank, v.(strategy.Loaded), st)
 		}
 		done := eng.NewEvent()
 		dones = append(dones, done)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/sample"
 	"repro/internal/sim"
+	"repro/internal/strategy"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
@@ -180,7 +181,7 @@ func (s *MultiDSP) coldOwner(v graph.NodeID) int { return int(v) % s.NumMachines
 // loadStage fetches features on (machine, rank): hot rows exactly as the
 // single-machine loader; cold rows via local UVA when this machine owns
 // them, and a NIC round trip plus remote CPU gather otherwise.
-func (s *MultiDSP) loadStage(p *sim.Proc, machine, rank int, mb *sample.MiniBatch) loaded {
+func (s *MultiDSP) loadStage(p *sim.Proc, machine, rank int, mb *sample.MiniBatch) strategy.Loaded {
 	d := s.Opts.Data
 	mach := s.cluster.Machines[machine]
 	dev := mach.GPUs[rank]
@@ -263,20 +264,20 @@ func (s *MultiDSP) loadStage(p *sim.Proc, machine, rank int, mb *sample.MiniBatc
 	if s.Opts.RealCompute {
 		feats = train.GatherFeatures(d, mb)
 	}
-	return loaded{mb: mb, feats: feats}
+	return strategy.Loaded{MB: mb, Feats: feats}
 }
 
 // trainStage runs the hierarchical gradient synchronisation.
-func (s *MultiDSP) trainStage(p *sim.Proc, machine, rank int, l loaded, st *train.EpochStats) {
+func (s *MultiDSP) trainStage(p *sim.Proc, machine, rank int, l strategy.Loaded, st *train.EpochStats) {
 	mach := s.cluster.Machines[machine]
 	dev := mach.GPUs[rank]
-	mb := l.mb
+	mb := l.MB
 	grad := s.grads[machine][rank]
 	if s.Opts.RealCompute {
 		m := s.models[machine][rank]
 		m.ZeroGrads()
 		if len(mb.Seeds) > 0 {
-			loss, correct, flops := m.TrainStep(mb, l.feats, train.SeedLabels(s.Opts.Data, mb))
+			loss, correct, flops := m.TrainStep(mb, l.Feats, train.SeedLabels(s.Opts.Data, mb))
 			dev.RunKernel(p, hw.KernelCompute, flops)
 			st.Loss += loss
 			st.Correct += correct
@@ -376,7 +377,7 @@ func (s *MultiDSP) RunEpoch(epoch int) (train.EpochStats, error) {
 				},
 				Train: func(p *sim.Proc, step int, v interface{}) {
 					p.Sleep(overhead)
-					s.trainStage(p, m, g, v.(loaded), st)
+					s.trainStage(p, m, g, v.(strategy.Loaded), st)
 				},
 			}
 			done := eng.NewEvent()

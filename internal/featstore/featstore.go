@@ -53,6 +53,11 @@ const (
 	// HostOnly: no GPU cache at all (DGL-UVA on graphs whose features do
 	// not fit a single GPU, as in the paper's experiments).
 	HostOnly
+	// DimSliced: every GPU holds ALL rows restricted to a contiguous
+	// [#Nodes, F/world] column slice (P3's hybrid-parallel layout). There
+	// are no hot/cold rows and no host tier — every read is GPU-local, and
+	// cross-GPU traffic moves first-layer activations instead of features.
+	DimSliced
 )
 
 // Store is the feature placement for one machine. Node ids are layout ids
@@ -91,9 +96,41 @@ func (s *Store) Gather(ids []graph.NodeID) []float32 {
 	return out
 }
 
-// CacheBytes returns the cache footprint on GPU g.
+// CacheBytes returns the cache footprint on GPU g. Under DimSliced the
+// footprint is the full-row-count slab at the GPU's slice width rather than
+// a cached-row count at full width.
 func (s *Store) CacheBytes(g int) int64 {
+	if s.Layout == DimSliced {
+		return int64(s.NumRows()) * int64(s.SliceDim(g)) * 4
+	}
 	return s.CachedRows[g] * int64(s.RowBytes())
+}
+
+// SliceRange returns GPU g's contiguous feature-column range [lo, hi) under
+// the DimSliced layout: a ceil split, so the first Dim%NumGPUs GPUs hold one
+// extra column.
+func (s *Store) SliceRange(g int) (lo, hi int) {
+	if s.Layout != DimSliced {
+		panic("featstore: SliceRange is only defined for the DimSliced layout")
+	}
+	base, rem := s.Dim/s.NumGPUs, s.Dim%s.NumGPUs
+	lo = g * base
+	if g < rem {
+		lo += g
+	} else {
+		lo += rem
+	}
+	hi = lo + base
+	if g < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// SliceDim returns the width of GPU g's column slice under DimSliced.
+func (s *Store) SliceDim(g int) int {
+	lo, hi := s.SliceRange(g)
+	return hi - lo
 }
 
 // Placement classifies where node v's feature row is read from by GPU g.
@@ -119,6 +156,10 @@ func (s *Store) Locate(v graph.NodeID, g int) (Placement, int) {
 		return HostMemory, -1
 	case HostOnly:
 		return HostMemory, -1
+	case DimSliced:
+		// Every GPU holds a slice of every row; the row read is local and
+		// the exchange happens at the activation level, not here.
+		return LocalGPU, g
 	default:
 		holder := s.cacheGPU[v]
 		switch {
@@ -312,6 +353,24 @@ func BuildReplicated(g *graph.CSR, features []float32, dim int, numGPUs int, bud
 	return s
 }
 
+// BuildDimSliced builds P3's dimension-partitioned layout: every GPU holds
+// the full row set restricted to its contiguous [#Nodes, F/world] column
+// slice. CachedRows counts all rows on every GPU (each holds a slice of
+// each), so the per-GPU byte footprint comes from CacheBytes, which prices
+// the slice width.
+func BuildDimSliced(features []float32, dim, numGPUs int) *Store {
+	s := &Store{
+		Layout: DimSliced, Dim: dim, NumGPUs: numGPUs,
+		features:   features,
+		CachedRows: make([]int64, numGPUs),
+	}
+	rows := int64(len(features) / dim)
+	for g := range s.CachedRows {
+		s.CachedRows[g] = rows
+	}
+	return s
+}
+
 // BuildHostOnly keeps every row in CPU memory (DGL-UVA without caching).
 func BuildHostOnly(n int, features []float32, dim, numGPUs int) *Store {
 	return &Store{
@@ -336,6 +395,10 @@ func (s *Store) AggregateCachedRows() int64 {
 			return 0
 		}
 		return s.CachedRows[0]
+	case DimSliced:
+		// Each row is jointly held by all GPUs (one slice each): every
+		// distinct row is GPU-resident exactly once at full width.
+		return int64(s.NumRows())
 	default:
 		return 0
 	}

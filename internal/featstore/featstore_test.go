@@ -298,6 +298,7 @@ func TestSplitExactPartitionAllLayouts(t *testing.T) {
 		"replicated":  BuildReplicated(f.g, f.feats, f.d.FeatDim, 4, budget, ByDegree),
 		"hostonly":    BuildHostOnly(f.g.NumNodes(), f.feats, f.d.FeatDim, 4),
 		"zerobudget":  BuildPartitioned(f.g, f.feats, f.d.FeatDim, f.offsets, 0, ByDegree),
+		"dimsliced":   BuildDimSliced(f.feats, f.d.FeatDim, 4),
 	}
 	for name, s := range stores {
 		s := s
@@ -340,6 +341,67 @@ func TestSplitExactPartitionAllLayouts(t *testing.T) {
 		}
 		if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
 			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestDimSlicedExactPartition: the column slices of a DimSliced store tile
+// [0, Dim) exactly — contiguous, disjoint, widths within one of each other —
+// and the derived accounting (CacheBytes, AggregateCachedRows, Locate) is
+// consistent with every GPU holding all rows of its slice.
+func TestDimSlicedExactPartition(t *testing.T) {
+	f := build(t, 4)
+	check := func(dimRaw, gpusRaw uint8) bool {
+		dim := 1 + int(dimRaw)%257
+		gpus := 1 + int(gpusRaw)%8
+		feats := make([]float32, 10*dim)
+		s := BuildDimSliced(feats, dim, gpus)
+		lo0, _ := s.SliceRange(0)
+		if lo0 != 0 {
+			return false
+		}
+		prev := 0
+		base := dim / gpus
+		var bytes int64
+		for g := 0; g < gpus; g++ {
+			lo, hi := s.SliceRange(g)
+			if lo != prev || hi < lo {
+				return false
+			}
+			if w := hi - lo; w != base && w != base+1 {
+				return false
+			}
+			if s.SliceDim(g) != hi-lo {
+				return false
+			}
+			if s.CacheBytes(g) != int64(s.NumRows())*int64(hi-lo)*4 {
+				return false
+			}
+			bytes += s.CacheBytes(g)
+			prev = hi
+		}
+		if prev != dim {
+			return false
+		}
+		if bytes != int64(s.NumRows())*int64(dim)*4 {
+			return false
+		}
+		if s.AggregateCachedRows() != int64(s.NumRows()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every row reads local on every GPU: the slice holds all rows.
+	s := BuildDimSliced(f.feats, f.d.FeatDim, 4)
+	for g := 0; g < 4; g++ {
+		for _, v := range []graph.NodeID{0, graph.NodeID(f.g.NumNodes() / 2), graph.NodeID(f.g.NumNodes() - 1)} {
+			if p, h := s.Locate(v, g); p != LocalGPU || h != g {
+				t.Fatalf("Locate(%d, gpu%d) = (%v, %d), want local", v, g, p, h)
+			}
 		}
 	}
 }

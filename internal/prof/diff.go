@@ -95,6 +95,8 @@ var diffMetrics = []metric{
 		}
 		return r.Faults.MeanMTTR, true
 	}, false},
+	{"strategy_push_bytes", strategyMetric(func(s *StrategySection) int64 { return s.PushBytes }), false},
+	{"strategy_pull_bytes", strategyMetric(func(s *StrategySection) int64 { return s.PullBytes }), false},
 }
 
 func latencyMetric(pick func(*LatencySummary) float64) func(*RunReport) (float64, bool) {
@@ -109,6 +111,16 @@ func latencyMetric(pick func(*LatencySummary) float64) func(*RunReport) (float64
 func wireMetric(pick func(Wire) int64) func(*RunReport) (float64, bool) {
 	return func(r *RunReport) (float64, bool) {
 		v := pick(r.Wire)
+		return float64(v), v > 0
+	}
+}
+
+func strategyMetric(pick func(*StrategySection) int64) func(*RunReport) (float64, bool) {
+	return func(r *RunReport) (float64, bool) {
+		if r.Strategy == nil {
+			return 0, false
+		}
+		v := pick(r.Strategy)
 		return float64(v), v > 0
 	}
 }

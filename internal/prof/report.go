@@ -55,6 +55,11 @@ type RunReport struct {
 	Cache *CacheReport `json:"cache,omitempty"`
 	// Store is the out-of-core tier's accounting (runs with -ooc).
 	Store *StoreSection `json:"store,omitempty"`
+	// Strategy is the execution strategy's own wire/compute accounting.
+	// Only non-default strategies emit it (-strategy p3); DSP runs omit the
+	// block so their reports stay byte-identical across the strategy
+	// refactor.
+	Strategy *StrategySection `json:"strategy,omitempty"`
 
 	// Latency is the end-to-end request latency distribution (serving runs).
 	Latency *LatencySummary `json:"latency,omitempty"`
@@ -133,6 +138,29 @@ type StoreSection struct {
 	StallTime   float64 `json:"stall_time"`
 	DeviceReads int64   `json:"device_reads"`
 	DeviceBytes int64   `json:"device_bytes"`
+}
+
+// StrategySection is the execution-strategy accounting block: which layout
+// ran, how the feature width was sliced across GPUs, and what the
+// strategy-specific exchanges cost. For P3 the push/pull pair is the
+// layer-1 activation exchange that replaces DSP's feature gather.
+type StrategySection struct {
+	Name string `json:"name"` // dsp | p3
+	// FeatureDim is the full feature width; SliceDims the per-GPU column
+	// slice widths (they sum to FeatureDim).
+	FeatureDim int   `json:"feature_dim,omitempty"`
+	SliceDims  []int `json:"slice_dims,omitempty"`
+	// PushBytes/PullBytes are the wire bytes charged for the forward
+	// partial-activation push and the backward activation-gradient pull.
+	PushBytes int64 `json:"push_bytes,omitempty"`
+	PullBytes int64 `json:"pull_bytes,omitempty"`
+	// PartialFlops is the model-parallel first-layer compute; ReduceBytes
+	// the partial-activation reduction kernel traffic.
+	PartialFlops int64 `json:"partial_flops,omitempty"`
+	ReduceBytes  int64 `json:"reduce_bytes,omitempty"`
+	// ShardedParams counts first-layer weight elements excluded from the
+	// allreduce wire because each replica owns only its column shard.
+	ShardedParams int `json:"sharded_params,omitempty"`
 }
 
 // LatencySummary is a rendered metrics.Histogram: the conventional
@@ -376,6 +404,29 @@ func (r *RunReport) Validate() error {
 		}
 		if s.StallTime < 0 {
 			return fmt.Errorf("prof: negative store stall time %g", s.StallTime)
+		}
+	}
+	if s := r.Strategy; s != nil {
+		switch s.Name {
+		case "dsp", "p3":
+		default:
+			return fmt.Errorf("prof: unknown strategy %q in strategy section", s.Name)
+		}
+		if s.PushBytes < 0 || s.PullBytes < 0 || s.PartialFlops < 0 || s.ReduceBytes < 0 || s.ShardedParams < 0 {
+			return fmt.Errorf("prof: negative strategy counters (push %d pull %d flops %d reduce %d sharded %d)",
+				s.PushBytes, s.PullBytes, s.PartialFlops, s.ReduceBytes, s.ShardedParams)
+		}
+		if s.FeatureDim > 0 && len(s.SliceDims) > 0 {
+			sum := 0
+			for _, w := range s.SliceDims {
+				if w < 0 {
+					return fmt.Errorf("prof: negative strategy slice width %d", w)
+				}
+				sum += w
+			}
+			if sum != s.FeatureDim {
+				return fmt.Errorf("prof: strategy slice widths sum to %d, want feature dim %d", sum, s.FeatureDim)
+			}
 		}
 	}
 	if f := r.Fleet; f != nil {

@@ -63,6 +63,15 @@ type Report struct {
 	// Config.OOC).
 	StoreStats store.Stats
 
+	// Execution-strategy accounting ("dsp" unless Config.Strategy picked
+	// another). Under p3 the tier counts above stay zero — every read lands in
+	// the local dimension slice — and PushWire carries the partial-activation
+	// exchange volume instead.
+	Strategy   string
+	FeatureDim int
+	SliceDims  []int
+	PushWire   int64
+
 	// Wire traffic totals accumulated over the run (wire bytes) and the
 	// per-traffic-class codec accounting of the run's communicators.
 	SampleWire, FeatureWire int64
@@ -144,6 +153,15 @@ func (s *Server) report(end sim.Time) *Report {
 	}
 	if s.hostStore != nil {
 		r.StoreStats = s.hostStore.Stats()
+	}
+	r.Strategy = "dsp"
+	if s.p3 {
+		r.Strategy = "p3"
+		r.FeatureDim = s.cfg.Data.FeatDim
+		r.PushWire = s.pushWire
+		for g := 0; g < s.store.NumGPUs; g++ {
+			r.SliceDims = append(r.SliceDims, s.store.SliceDim(g))
+		}
 	}
 	for _, h := range s.latency {
 		r.Latency.Merge(h)
@@ -230,6 +248,10 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "\ncache %s  rebalances %d  promoted %d rows  migrated %.2f MB  overhead %.3fms",
 			r.CachePolicy, r.Rebalances, r.PromotedRows,
 			float64(r.RebalanceBytes)/1e6, 1e3*float64(r.RebalanceTime))
+	}
+	if r.Strategy == "p3" {
+		fmt.Fprintf(&b, "\nstrategy p3  slices %v  push %.2f MB",
+			r.SliceDims, float64(r.PushWire)/1e6)
 	}
 	if ss := r.StoreStats; ss.Hits+ss.Misses > 0 {
 		fmt.Fprintf(&b, "\nooc store  hit %.1f%%  demand %.2f MB  prefetch acc %.1f%%  stall %.3fms",

@@ -21,6 +21,15 @@ type ReportMeta struct {
 func (r *Report) RunReport(meta ReportMeta) *prof.RunReport {
 	out := prof.New("dspserve")
 	out.System = "DSP"
+	if r.Strategy == "p3" {
+		out.System = "DSP-P3"
+		out.Strategy = &prof.StrategySection{
+			Name:       r.Strategy,
+			FeatureDim: r.FeatureDim,
+			SliceDims:  append([]int(nil), r.SliceDims...),
+			PushBytes:  r.PushWire,
+		}
+	}
 	out.Dataset = meta.Dataset
 	out.GPUs = meta.GPUs
 	out.Seed = meta.Seed

@@ -37,6 +37,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/strategy"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
@@ -192,6 +193,12 @@ type Config struct {
 	// fall back to host memory. The schedule must leave at least one GPU
 	// alive.
 	Faults []fault.Fault
+
+	// Strategy selects the execution strategy: "" or "dsp" serves off the
+	// row-partitioned hot/cold cache; "p3" dimension-slices the features
+	// ([#Nodes, F/world] per GPU) and replaces the feature gather with the
+	// first layer's partial-activation push exchange (internal/strategy).
+	Strategy string
 }
 
 func (c Config) defaults() Config {
@@ -252,6 +259,23 @@ func (c Config) validate() error {
 		len(c.Sample.Fanout) != c.Model.Layers {
 		return fmt.Errorf("serve: fan-out depth %d != model layers %d",
 			len(c.Sample.Fanout), c.Model.Layers)
+	}
+	kind, err := strategy.Parse(c.Strategy)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if kind == strategy.KindP3 {
+		// The P3 layout has no per-row holders: degraded-mode re-routing and
+		// row-cache rebalancing are meaningless over a dimension slice.
+		if len(c.Faults) > 0 {
+			return fmt.Errorf("serve: -strategy p3 does not support fault injection (no per-row holders to re-route around)")
+		}
+		if c.DynamicCache != cache.Static {
+			return fmt.Errorf("serve: -strategy p3 is incompatible with dynamic cache policy %v (the dimension-sliced layout has no rows to rebalance)", c.DynamicCache)
+		}
+		if c.FeatureCacheBudget > 0 {
+			return fmt.Errorf("serve: -strategy p3 ignores the feature cache budget: each GPU holds the full [#nodes, F/world] slice")
+		}
 	}
 	return nil
 }
@@ -359,6 +383,11 @@ type Server struct {
 	completed     []*Request
 	latency       []*metrics.Histogram
 	zeros         []float32
+
+	// p3 strategy state: dimension-sliced features replace the row cache,
+	// and the first layer runs as a partial-activation push exchange.
+	p3       bool
+	pushWire int64
 }
 
 // NewServer builds the serving fleet: machine, partitioned topology,
@@ -417,12 +446,20 @@ func NewServer(cfg Config) (*Server, error) {
 		s.world.SetHostStore(hs)
 	}
 
-	budget := cfg.FeatureCacheBudget
-	if budget <= 0 {
-		budget = s.minFreeMem() * 9 / 10
+	kind, _ := strategy.Parse(cfg.Strategy) // validated above
+	s.p3 = kind == strategy.KindP3
+	if s.p3 {
+		// Dimension-sliced layout: every GPU holds all rows of an F/world
+		// column slice, so there is no hot/cold split and no row cache.
+		s.store = featstore.BuildDimSliced(d.Feats, d.FeatDim, n)
+	} else {
+		budget := cfg.FeatureCacheBudget
+		if budget <= 0 {
+			budget = s.minFreeMem() * 9 / 10
+		}
+		s.store = featstore.BuildPartitioned(d.G, d.Feats, d.FeatDim, d.Offsets,
+			budget, featstore.Policy(cfg.CachePolicy))
 	}
-	s.store = featstore.BuildPartitioned(d.G, d.Feats, d.FeatDim, d.Offsets,
-		budget, featstore.Policy(cfg.CachePolicy))
 	for g := 0; g < n; g++ {
 		if err := s.m.GPUs[g].Reserve(s.store.CacheBytes(g)); err != nil {
 			return nil, fmt.Errorf("serve: feature cache: %w", err)
@@ -1011,7 +1048,12 @@ func (s *Server) executor(p *sim.Proc, g int) {
 			rc = cache.Tiers{}
 		}, func() {
 			p.Sleep(s.overhead)
-			feats := s.loadFeatures(p, g, it.mb, &rc)
+			var feats []float32
+			if s.p3 {
+				feats = s.loadFeaturesP3(p, g, it.mb)
+			} else {
+				feats = s.loadFeatures(p, g, it.mb, &rc)
+			}
 			preds = s.forward(p, g, it.mb, feats)
 		})
 		s.cacheMgr.Account(g, rc)
@@ -1103,6 +1145,30 @@ func (s *Server) loadFeatures(p *sim.Proc, g int, mb *sample.MiniBatch, rc *cach
 	return nil
 }
 
+// loadFeaturesP3 is the executor's feature stage under the p3 strategy: the
+// first layer's partial-activation push exchange (strategy.P3Forward) stands
+// where the hot/cold row gather would be. Under RealCompute the full-width
+// features are still materialised so the forward math is canonical.
+func (s *Server) loadFeaturesP3(p *sim.Proc, g int, mb *sample.MiniBatch) []float32 {
+	h0 := s.cfg.Model.Hidden
+	if s.cfg.Model.Layers == 1 {
+		h0 = s.cfg.Model.Classes
+	}
+	fst := strategy.P3Forward(p, s.m, s.execComm, g, s.store, s.cfg.Model.Arch,
+		h0, s.cfg.FeatCodec, mb.InputNodes(), s.zeroAct)
+	s.pushWire += fst.PushWire
+	if s.execComm.N > 1 {
+		dev := s.m.GPUs[g]
+		dev.Tracer.Counter("p3 push", dev.ID, float64(p.Now()), map[string]float64{
+			"bytes": float64(s.pushWire),
+		})
+	}
+	if s.cfg.RealCompute {
+		return train.GatherFeatures(s.cfg.Data, mb)
+	}
+	return nil
+}
+
 // forward runs the inference pass and returns per-seed argmax predictions
 // (nil in cost-only mode).
 func (s *Server) forward(p *sim.Proc, g int, mb *sample.MiniBatch, feats []float32) []int32 {
@@ -1111,7 +1177,13 @@ func (s *Server) forward(p *sim.Proc, g int, mb *sample.MiniBatch, feats []float
 	}
 	dev := s.m.GPUs[g]
 	dev.RunKernel(p, hw.KernelGather, nn.NominalAggBytes(s.cfg.Model, mb))
-	dev.RunKernel(p, hw.KernelCompute, nn.NominalForwardFlops(s.cfg.Model, mb))
+	flops := nn.NominalForwardFlops(s.cfg.Model, mb)
+	if s.p3 {
+		// The first layer's dense work already ran as partial projections in
+		// the push exchange; charge only the residual here.
+		flops = strategy.P3ResidualForwardFlops(s.cfg.Model, mb)
+	}
+	dev.RunKernel(p, hw.KernelCompute, flops)
 	if !s.cfg.RealCompute {
 		return nil
 	}
@@ -1136,4 +1208,13 @@ func (s *Server) zeroRows(rows int) []float32 {
 		s.zeros = make([]float32, need)
 	}
 	return s.zeros[:need]
+}
+
+// zeroAct returns a zero-backed payload standing in for n activation values
+// (shared backing with zeroRows; the payloads only carry timing).
+func (s *Server) zeroAct(n int) []float32 {
+	if cap(s.zeros) < n {
+		s.zeros = make([]float32, n)
+	}
+	return s.zeros[:n]
 }

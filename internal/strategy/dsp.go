@@ -1,0 +1,130 @@
+package strategy
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/comm"
+	"repro/internal/hw"
+	"repro/internal/prof"
+	"repro/internal/sample"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/train"
+)
+
+// DSP is the paper's execution strategy, migrated verbatim from
+// internal/core: local cache hits via a gather kernel, remote hot rows via
+// all-to-all over NVLink, cold rows via UVA (in parallel on different
+// links), then the standard data-parallel train step.
+type DSP struct {
+	Opts    train.Options
+	M       *hw.Machine
+	Cache   *cache.Manager
+	Host    *store.Store // out-of-core host tier (nil unless Opts.OOC)
+	Trainer *train.Trainer
+
+	// zeros backs loader reply payloads (transfer timing without copying
+	// real rows twice).
+	zeros []float32
+}
+
+// NewDSP assembles the DSP strategy over an already-built substrate.
+func NewDSP(opts train.Options, m *hw.Machine, cacheMgr *cache.Manager, host *store.Store, trainer *train.Trainer) *DSP {
+	return &DSP{Opts: opts, M: m, Cache: cacheMgr, Host: host, Trainer: trainer}
+}
+
+// Kind implements ExecutionStrategy.
+func (s *DSP) Kind() Kind { return KindDSP }
+
+// zeroRows returns a zero-backed payload standing in for rows feature rows
+// (cost-only mode sends these so transfer timing stays exact without
+// copying real rows twice).
+func (s *DSP) zeroRows(rows int) []float32 {
+	need := rows * s.Opts.Data.FeatDim
+	if cap(s.zeros) < need {
+		s.zeros = make([]float32, need)
+	}
+	return s.zeros[:need]
+}
+
+// Load implements ExecutionStrategy: fetch features for the sampled batch —
+// local cache hits via a gather kernel, remote hot rows via all-to-all over
+// NVLink, cold rows via UVA — hot and cold fetches run in parallel on
+// different links, as in the paper.
+func (s *DSP) Load(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *comm.Communicator) Loaded {
+	d := s.Opts.Data
+	dev := s.M.GPUs[rank]
+	ids := mb.InputNodes()
+	// The manager's Split records row hotness for the epoch-boundary
+	// rebalancer and re-routes dead-holder rows to the host tier.
+	local, remote, host := s.Cache.Split(ids, rank)
+	s.Cache.Account(rank, cache.CountTiers(local, remote, host))
+	n := lc.N
+
+	// Feature tier of the frontier walk: the split names exactly the
+	// host-tier rows the UVA side path is about to read — prefetch their
+	// blocks now (MaxInflight-way parallel, non-blocking) so the spill reads
+	// overlap the NVLink path instead of serialising in the toucher.
+	if s.Host != nil && len(host) > 0 {
+		s.Host.PrefetchFeatures(host)
+	}
+
+	// Cold rows via UVA, concurrently with the NVLink path.
+	uvaDone := s.M.Eng.NewEvent()
+	if len(host) > 0 {
+		s.M.Eng.Go(fmt.Sprintf("gpu%d/uva", rank), func(cp *sim.Proc) {
+			// Host rows must be cache-resident before UVA can read them:
+			// the out-of-core tier stalls this side path (not the NVLink
+			// path) on any spill-device fetch.
+			if s.Host != nil {
+				s.Host.TouchFeatures(cp, host)
+			}
+			dev.UVARead(cp, s.M.Fabric, int64(len(host)), d.RowBytes(), hw.TrafficFeature)
+			uvaDone.Trigger()
+		})
+	} else {
+		uvaDone.Trigger()
+	}
+
+	// Local cache hits: one gather kernel.
+	if len(local) > 0 {
+		dev.RunKernel(p, hw.KernelGather, int64(len(local))*int64(d.RowBytes()))
+	}
+
+	// Remote hot rows: request ids, owners gather, rows come back.
+	if n > 1 {
+		reqIn := comm.AllToAll(lc, p, rank, remote, comm.Raw(4, hw.TrafficFeature))
+		var served int64
+		for q := 0; q < n; q++ {
+			served += int64(len(reqIn[q]))
+		}
+		if served > 0 {
+			dev.RunKernel(p, hw.KernelGather, served*int64(d.RowBytes()))
+		}
+		replies := make([][]float32, n)
+		for q := 0; q < n; q++ {
+			replies[q] = s.zeroRows(len(reqIn[q]))
+		}
+		comm.AllToAll(lc, p, rank, replies, comm.Compressed(s.Opts.FeatCodec, hw.TrafficFeature))
+	}
+
+	uvaDone.Wait(p)
+	// Assemble the contiguous input-feature buffer.
+	dev.RunKernel(p, hw.KernelGather, int64(len(ids))*int64(d.RowBytes()))
+	var feats []float32
+	if s.Opts.RealCompute {
+		feats = train.GatherFeatures(d, mb)
+	}
+	return Loaded{MB: mb, Feats: feats}
+}
+
+// Train implements ExecutionStrategy: the standard data-parallel step.
+func (s *DSP) Train(p *sim.Proc, rank int, l Loaded, st *train.EpochStats) {
+	s.Trainer.Step(p, s.M.GPUs[rank], rank, l.MB, l.Feats, st)
+}
+
+// Section implements ExecutionStrategy. DSP reports through the existing
+// sections; returning nil keeps its run reports byte-identical to
+// pre-refactor baselines.
+func (s *DSP) Section() *prof.StrategySection { return nil }

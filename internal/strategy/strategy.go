@@ -1,0 +1,82 @@
+// Package strategy defines the execution-strategy layer: the per-round
+// gather/forward/backward orchestration that sits between the pipeline
+// (which decides WHEN stages run) and the substrate (hw devices, comm
+// collectives, featstore placement — which decide what they COST).
+//
+// Two strategies are provided. DSP is the paper's layout — row-partitioned
+// hot/cold feature caching with an all-to-all gather — migrated verbatim
+// from internal/core so same-seed runs stay byte-identical to pre-refactor
+// reports. P3 is the hybrid-parallel alternative of the P3-GNN line of
+// work: each GPU holds a [#Nodes, F/world] dimension slice of EVERY
+// feature row, the first layer runs model-parallel over those slices, and
+// the layer-1 boundary is a push-pull exchange (push partial activations
+// forward, pull activation gradients back) instead of a feature gather.
+// Which layout wins depends on feature width: P3's exchange volume is
+// O(hidden) per input node regardless of F, DSP's is O(F) on the cache-miss
+// fraction — dspbench strategy-sweep measures the crossover.
+//
+// Both strategies run IDENTICAL real math (the canonical full-width gather
+// and dense layers under RealCompute): the layout changes what the
+// simulated wire and kernels cost, never the values, so same-seed runs of
+// DSP and P3 reach bit-identical parameters.
+package strategy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/prof"
+	"repro/internal/sample"
+	"repro/internal/sim"
+	"repro/internal/train"
+)
+
+// Kind names a selectable execution strategy.
+type Kind string
+
+const (
+	// KindDSP is the paper's row-partitioned hot/cold layout (default).
+	KindDSP Kind = "dsp"
+	// KindP3 is the dimension-partitioned push-pull layout.
+	KindP3 Kind = "p3"
+)
+
+// Parse resolves a -strategy flag value, case-insensitively ("" means dsp).
+func Parse(s string) (Kind, error) {
+	switch Kind(strings.ToLower(s)) {
+	case "", KindDSP:
+		return KindDSP, nil
+	case KindP3:
+		return KindP3, nil
+	default:
+		return "", fmt.Errorf("strategy: unknown strategy %q (want dsp or p3)", s)
+	}
+}
+
+// Loaded is the loader-to-trainer payload: the sampled batch plus, under
+// RealCompute, its gathered input features.
+type Loaded struct {
+	MB    *sample.MiniBatch
+	Feats []float32
+}
+
+// ExecutionStrategy owns one round's gather/forward/backward orchestration
+// on one rank. Sampling stays with the CSP world — both layouts sample the
+// same way over the same partitioned topology — so the strategy's surface
+// is the two stages whose cost the layout actually changes.
+type ExecutionStrategy interface {
+	// Kind identifies the strategy.
+	Kind() Kind
+	// Load fetches (DSP) or exchanges (P3) what the forward pass needs for
+	// one sampled batch, over the given loader communicator.
+	Load(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *comm.Communicator) Loaded
+	// Train runs one training step: forward remainder, backward, and the
+	// gradient allreduce.
+	Train(p *sim.Proc, rank int, l Loaded, st *train.EpochStats)
+	// Section reports the strategy's wire/compute accounting for the run
+	// report. DSP returns nil: its accounting already flows through the
+	// existing sections, and omitting the block keeps DSP reports
+	// byte-identical to pre-refactor baselines.
+	Section() *prof.StrategySection
+}

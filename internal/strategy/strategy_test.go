@@ -1,0 +1,153 @@
+package strategy_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/nn"
+	"repro/internal/sample"
+	"repro/internal/strategy"
+	"repro/internal/train"
+)
+
+func testData(t testing.TB, nGPU int) *train.Data {
+	t.Helper()
+	d := gen.Generate(gen.Config{
+		Name: "stest", Nodes: 16000, AvgDegree: 12, FeatDim: 32,
+		NumClasses: 6, Seed: 808,
+	})
+	return train.Prepare(d, nGPU, 1, true)
+}
+
+func realOpts(td *train.Data, strat string) train.Options {
+	return train.Options{
+		Data:        td,
+		Model:       nn.Config{Arch: nn.SAGE, InDim: td.FeatDim, Hidden: 24, Classes: td.NumClasses, Layers: 2},
+		Sample:      sample.Config{Fanout: []int{8, 6}},
+		BatchSize:   512,
+		Pipeline:    true,
+		UseCCC:      true,
+		RealCompute: true,
+		Seed:        77,
+		Strategy:    strat,
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want strategy.Kind
+		err  bool
+	}{
+		{"", strategy.KindDSP, false},
+		{"dsp", strategy.KindDSP, false},
+		{"p3", strategy.KindP3, false},
+		{"P3", strategy.KindP3, false},
+		{"pipeline", "", true},
+	} {
+		got, err := strategy.Parse(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("Parse(%q): err = %v, want err %v", tc.in, err, tc.err)
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("Parse(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestStrategiesBitIdenticalParams pins the strategy layer's canonical-math
+// contract: DSP and P3 differ only in their simulated wire and kernel cost
+// model, so at the same seed both reach bitwise-equal parameters. Lossy
+// codecs are off — they are part of the training math, not the strategy.
+func TestStrategiesBitIdenticalParams(t *testing.T) {
+	td := testData(t, 4)
+	run := func(strat string) *nn.Model {
+		sys, err := core.New(realOpts(td, strat))
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		for e := 0; e < 2; e++ {
+			if _, err := sys.RunEpoch(e); err != nil {
+				t.Fatalf("%s epoch %d: %v", strat, e, err)
+			}
+		}
+		return sys.Model()
+	}
+	dsp, p3 := run("dsp"), run("p3")
+	if len(dsp.Params) != len(p3.Params) {
+		t.Fatalf("param tensor count: dsp %d, p3 %d", len(dsp.Params), len(p3.Params))
+	}
+	for i := range dsp.Params {
+		a, b := dsp.Params[i].W.Data, p3.Params[i].W.Data
+		if len(a) != len(b) {
+			t.Fatalf("param %d (%s): len %d vs %d", i, dsp.Params[i].Name, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("param %d (%s) element %d: dsp %v, p3 %v — strategies diverged",
+					i, dsp.Params[i].Name, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// TestP3EpochAndSection: a P3 run reports a consistent strategy section —
+// named, slice widths tiling the feature dim, and nonzero exchange volume on
+// a multi-GPU fleet — while the DSP strategy reports none (its reports stay
+// byte-identical to the pre-strategy-layer schema).
+func TestP3EpochAndSection(t *testing.T) {
+	td := testData(t, 4)
+	sys, err := core.New(realOpts(td, "p3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name() != "DSP-P3" {
+		t.Fatalf("Name() = %q, want DSP-P3", sys.Name())
+	}
+	if _, err := sys.RunEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+	sec := sys.StrategySection()
+	if sec == nil || sec.Name != "p3" {
+		t.Fatalf("strategy section = %+v, want name p3", sec)
+	}
+	sum := 0
+	for _, w := range sec.SliceDims {
+		sum += w
+	}
+	if sum != td.FeatDim || len(sec.SliceDims) != 4 {
+		t.Fatalf("slice dims %v do not tile feature dim %d", sec.SliceDims, td.FeatDim)
+	}
+	if sec.PushBytes <= 0 || sec.PullBytes <= 0 || sec.PartialFlops <= 0 {
+		t.Fatalf("exchange accounting not populated: %+v", sec)
+	}
+
+	dsp, err := core.New(realOpts(td, "dsp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := dsp.StrategySection(); s != nil {
+		t.Fatalf("dsp strategy section = %+v, want nil", s)
+	}
+}
+
+// TestP3RejectsIncompatibleOptions: the p3 layout has no per-row cache, so
+// row-policy knobs and fault injection are configuration errors, not silent
+// no-ops.
+func TestP3RejectsIncompatibleOptions(t *testing.T) {
+	td := testData(t, 2)
+	for name, mutate := range map[string]func(*train.Options){
+		"dynamic cache":   func(o *train.Options) { o.DynamicCache = cache.LFUDecay },
+		"cache budget":    func(o *train.Options) { o.FeatureCacheBudget = 1 << 20 },
+		"replicated":      func(o *train.Options) { o.ReplicatedCache = true },
+		"unknown variant": func(o *train.Options) { o.Strategy = "p4" },
+	} {
+		o := realOpts(td, "p3")
+		mutate(&o)
+		if _, err := core.New(o); err == nil {
+			t.Errorf("%s: core.New accepted an incompatible p3 config", name)
+		}
+	}
+}

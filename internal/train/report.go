@@ -35,6 +35,9 @@ type ReportInput struct {
 	// Store is the out-of-core tier's cumulative accounting (zero Stats
 	// without -ooc; the section is omitted when it saw no traffic).
 	Store store.Stats
+	// Strategy is the execution strategy's accounting (nil for the default
+	// DSP strategy, whose reports stay byte-identical pre/post refactor).
+	Strategy *prof.StrategySection
 }
 
 // BuildRunReport renders a training run into the versioned RunReport schema.
@@ -160,6 +163,7 @@ func BuildRunReport(in ReportInput) *prof.RunReport {
 		r.Faults = fr
 	}
 	r.Store = store.Section(in.Store)
+	r.Strategy = in.Strategy
 	if in.Tracer.Enabled() {
 		r.Profile = prof.Analyze(prof.FromTracer(in.Tracer))
 	}

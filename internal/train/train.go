@@ -278,6 +278,11 @@ type Options struct {
 	// system builds the injector; the FT driver arms it. Fault times are
 	// GLOBAL virtual time — a rebuilt fleet skips faults already delivered.
 	Faults []fault.Fault
+	// Strategy selects the execution strategy: "" or "dsp" is the paper's
+	// row-partitioned hot/cold layout, "p3" the dimension-partitioned
+	// push-pull layout (internal/strategy). A plain string so this package
+	// stays below internal/strategy in the import graph; core validates it.
+	Strategy string
 }
 
 // EffectiveStageOverhead resolves the per-stage host cost after scaling.

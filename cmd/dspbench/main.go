@@ -27,6 +27,8 @@ func main() {
 		warmup  = flag.Int("warmup", 1, "warm-up epochs per configuration")
 		measure = flag.Int("measure", 2, "measured epochs per configuration")
 		report  = flag.String("report", "", "run the canonical perf workload and write its run report JSON here")
+		par     = flag.Int("parallel", 1, "OS threads for offloaded simulator data work (results are bitwise identical at any value)")
+		asJSON  = flag.Bool("json", false, "emit result tables as JSON objects instead of aligned text")
 	)
 	flag.Parse()
 
@@ -36,7 +38,7 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.RunConfig{Shrink: *shrink, Warmup: *warmup, Measure: *measure}
+	cfg := bench.RunConfig{Shrink: *shrink, Warmup: *warmup, Measure: *measure, Parallel: *par, JSON: *asJSON}
 	if *report != "" {
 		r, err := bench.PerfReport(cfg)
 		if err != nil {
@@ -71,6 +73,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dspbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s finished in %v wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if s := bench.SweepByName(name); s != nil {
+			if a, ok := s.(bench.Asserter); ok {
+				if err := a.Assert(); err != nil {
+					fmt.Fprintf(os.Stderr, "dspbench: %s: assert: %v\n", name, err)
+					os.Exit(1)
+				}
+			}
+		}
+		if !*asJSON {
+			fmt.Printf("[%s finished in %v wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
 	}
 }

@@ -179,6 +179,7 @@ func main() {
 		Data:               td,
 		RealCompute:        *real,
 		Seed:               *seed,
+		Parallel:           common.Parallel(),
 		Duration:           sim.Time(*duration),
 		Rate:               *rate,
 		Skew:               *skew,

@@ -114,6 +114,7 @@ func main() {
 		LR:          0.003,
 		Seed:        *seed,
 		Faults:      faults,
+		Parallel:    common.Parallel(),
 	}
 	opts.DynamicCache, err = common.Policy()
 	if err != nil {

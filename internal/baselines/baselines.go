@@ -102,6 +102,18 @@ type Baseline struct {
 	cacheAllOnGPU bool
 	// hot[v]: replicated-cache membership for Quiver.
 	hot []bool
+	// dedup: reusable block builder for the reference sampler. Safe to share
+	// across ranks — sampling runs serially on the engine thread and each
+	// BuildBlock fully resets its marks before returning.
+	dedup *sample.Deduper
+}
+
+// deduper lazily builds the shared block-builder scratch.
+func (b *Baseline) deduper() *sample.Deduper {
+	if b.dedup == nil {
+		b.dedup = sample.NewDeduper(b.Opts.Data.G.NumNodes())
+	}
+	return b.dedup
 }
 
 // New builds a baseline system instance.
@@ -113,6 +125,7 @@ func New(kind Kind, opts train.Options) (*Baseline, error) {
 	d := opts.Data
 	b := &Baseline{Kind: kind, Opts: opts}
 	b.m = hw.NewMachineScaled(d.NumGPUs(), opts.GPU, opts.CPU, opts.LatencyScale)
+	b.m.Eng.SetParallelism(opts.Parallel)
 	b.trainer = train.NewTrainer(opts, comm.New(b.m))
 	b.sched = train.NewSchedule(d, opts.BatchSize)
 	switch kind {
@@ -180,7 +193,7 @@ func (b *Baseline) cpuWorkers() (threads int, efficiency float64) {
 func (b *Baseline) sampleStage(p *sim.Proc, rank, epoch, step int) *sample.MiniBatch {
 	d := b.Opts.Data
 	seeds := b.sched.Batch(d, b.Opts.Seed, epoch, step, rank)
-	mb := sample.Reference(d.G, seeds, b.Opts.Sample, train.BatchSeed(b.Opts.Seed, epoch, step, rank))
+	mb := sample.ReferenceInto(b.deduper(), d.G, seeds, b.Opts.Sample, train.BatchSeed(b.Opts.Seed, epoch, step, rank))
 	dev := b.m.GPUs[rank]
 	switch b.Kind {
 	case PyG, DGLCPU:

@@ -29,7 +29,7 @@ func AblationPartition(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		for _, metis := range []bool{true, false} {
 			td := prepared(ds, 4, cfg.Shrink, false, metis)
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			sys, err := buildSystem("DSP", opts)
@@ -64,7 +64,7 @@ func AblationCachePolicy(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		td := prepared(ds, 8, cfg.Shrink, false, true)
 		for _, pol := range policies {
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			opts.CachePolicy = int(pol)
@@ -96,7 +96,7 @@ func AblationQueueCap(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		td := prepared(ds, 8, cfg.Shrink, false, true)
 		for i, c := range caps {
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			opts.QueueCap = c
@@ -124,7 +124,7 @@ func AblationCCC(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		td := prepared(ds, 4, cfg.Shrink, false, true)
 		for _, useCCC := range []bool{true, false} {
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			opts.UseCCC = useCCC
@@ -160,7 +160,7 @@ func AblationReplicatedCache(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		td := prepared(ds, 8, cfg.Shrink, false, true)
 		for _, repl := range []bool{false, true} {
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			opts.ReplicatedCache = repl
@@ -194,7 +194,7 @@ func AblationFusedKernels(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		td := prepared(ds, 4, cfg.Shrink, false, true)
 		for _, unfused := range []bool{false, true} {
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			opts.UnfusedSampling = unfused
@@ -228,7 +228,7 @@ func AblationMultiWorker(cfg RunConfig) (*Table, error) {
 			row  string
 			s, l int
 		}{{"1S/1L", 1, 1}, {"2S/2L", 2, 2}, {"3S/2L", 3, 2}} {
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			opts.NumSamplers = w.s
@@ -256,7 +256,7 @@ func AblationMultiMachine(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		td := prepared(ds, 4, cfg.Shrink, false, true)
 		for _, m := range []int{1, 2, 4} {
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			sys, err := core.NewMulti(opts, m, hw.InfiniBandEDR())
@@ -297,7 +297,7 @@ func ExtensionGNNArchs(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		td := prepared(ds, 8, cfg.Shrink, false, true)
 		for _, a := range archs {
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = nn.Config{Arch: a, InDim: td.FeatDim, Hidden: 256, Classes: td.NumClasses, Layers: 3}
 			opts.Sample = defaultFanout()
 			sys, err := buildSystem("DSP", opts)

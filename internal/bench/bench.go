@@ -17,6 +17,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -39,6 +40,13 @@ type RunConfig struct {
 	// Warmup and Measure are epochs discarded / averaged. The paper uses
 	// 5/10; the simulator is deterministic, so 1/2 suffices by default.
 	Warmup, Measure int
+	// Parallel is the OS-thread budget for offloaded simulator data work
+	// (train.Options.Parallel); every result is bitwise identical at any
+	// value, so it only changes wall-clock time.
+	Parallel int
+	// JSON switches table output from aligned text to one JSON object per
+	// table (machine-readable sweep results).
+	JSON bool
 }
 
 // DefaultConfig is the benchmark-scale configuration.
@@ -68,32 +76,59 @@ func NewTable(title, unit string, rows, cols []string) *Table {
 	return t
 }
 
-// Set stores a cell by row/col name.
+// Set stores a cell by row/col name, panicking on unknown names (experiment
+// code addresses tables it constructed itself, so a miss is a programming
+// error). Use SetCell for the error-returning variant.
 func (t *Table) Set(row, col string, v float64) {
-	t.Cells[t.rowIndex(row)][t.colIndex(col)] = v
+	if err := t.SetCell(row, col, v); err != nil {
+		panic(err)
+	}
 }
 
-// Get reads a cell by row/col name.
+// Get reads a cell by row/col name, panicking on unknown names. Use GetCell
+// for the error-returning variant.
 func (t *Table) Get(row, col string) float64 {
-	return t.Cells[t.rowIndex(row)][t.colIndex(col)]
+	v, err := t.GetCell(row, col)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
-func (t *Table) rowIndex(name string) int {
-	for i, r := range t.Rows {
-		if r == name {
-			return i
-		}
+// SetCell stores a cell by row/col name; an unknown name yields an error
+// listing the valid ones.
+func (t *Table) SetCell(row, col string, v float64) error {
+	ri, ci, err := t.cell(row, col)
+	if err != nil {
+		return err
 	}
-	panic(fmt.Sprintf("bench: unknown row %q in %q", name, t.Title))
+	t.Cells[ri][ci] = v
+	return nil
 }
 
-func (t *Table) colIndex(name string) int {
-	for i, c := range t.Cols {
-		if c == name {
-			return i
-		}
+// GetCell reads a cell by row/col name; an unknown name yields an error
+// listing the valid ones.
+func (t *Table) GetCell(row, col string) (float64, error) {
+	ri, ci, err := t.cell(row, col)
+	if err != nil {
+		return 0, err
 	}
-	panic(fmt.Sprintf("bench: unknown col %q in %q", name, t.Title))
+	return t.Cells[ri][ci], nil
+}
+
+// cell resolves (row, col) names to indices.
+func (t *Table) cell(row, col string) (int, int, error) {
+	ri := slices.Index(t.Rows, row)
+	if ri < 0 {
+		return 0, 0, fmt.Errorf("bench: unknown row %q in table %q (rows: %s)",
+			row, t.Title, strings.Join(t.Rows, ", "))
+	}
+	ci := slices.Index(t.Cols, col)
+	if ci < 0 {
+		return 0, 0, fmt.Errorf("bench: unknown col %q in table %q (cols: %s)",
+			col, t.Title, strings.Join(t.Cols, ", "))
+	}
+	return ri, ci, nil
 }
 
 // Fprint renders the table as aligned text.
@@ -217,7 +252,7 @@ func scaledGPU() hw.GPUSpec {
 // 3-layer GraphSAGE, hidden 256, fan-out [15,10,5], cost-only compute. The
 // batch size is the registry's scaled recommendation (steps per epoch stay
 // in the paper's regime).
-func baseOpts(td *train.Data) train.Options {
+func baseOpts(td *train.Data, cfg RunConfig) train.Options {
 	batch := td.BenchBatch
 	if batch == 0 {
 		batch = 256
@@ -230,6 +265,7 @@ func baseOpts(td *train.Data) train.Options {
 		UseCCC:       true,
 		Seed:         2023,
 		LatencyScale: batchCountScale,
+		Parallel:     cfg.Parallel,
 		// int8 gradient compression (~3.9x wire cut) keeps gradient traffic
 		// in the paper's "much cheaper than sampling and loading" regime,
 		// replacing the old wire-scale discount with a codec whose error is
@@ -315,14 +351,10 @@ var Experiments = map[string]func(w io.Writer, cfg RunConfig) error{
 	"ablation-workers":  runnerFor(AblationMultiWorker),
 	"ext-multimachine":  runnerFor(AblationMultiMachine),
 	"ext-gnn-archs":     runnerFor(ExtensionGNNArchs),
-	"serve-load":        runnerFor(ServeLoad),
-	"fault-sweep":       runnerFor(FaultSweep),
-	"cache-sweep":       runnerFor(CacheSweep),
-	"router-sweep":      runnerFor(RouterSweep),
-	"compress-sweep":    runnerFor(CompressSweep),
-	"ooc-sweep":         runnerFor(OOCSweep),
-	"strategy-sweep":    runnerFor(StrategySweep),
 	"perf":              Perf,
+	// The seven parameter sweeps (serve-load, cache-sweep, compress-sweep,
+	// router-sweep, ooc-sweep, strategy-sweep, fault-sweep) register
+	// through the Sweeps registry (sweep.go).
 }
 
 // ExperimentNames returns the registry keys sorted.
@@ -341,8 +373,7 @@ func runnerFor(f func(cfg RunConfig) (*Table, error)) func(w io.Writer, cfg RunC
 		if err != nil {
 			return err
 		}
-		t.Fprint(w)
-		return nil
+		return renderTable(w, t, cfg)
 	}
 }
 

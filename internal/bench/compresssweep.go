@@ -38,8 +38,8 @@ const compressEpochs = 4
 // allreduce and the feature gathers, and reports the frontier point. It is
 // a pure function of (td, codec): two calls with the same codec must return
 // bit-identical results (asserted by the determinism test).
-func compressRun(td *train.Data, codec compress.Codec) (compressResult, error) {
-	opts := baseOpts(td)
+func compressRun(td *train.Data, codec compress.Codec, cfg RunConfig) (compressResult, error) {
+	opts := baseOpts(td, cfg)
 	opts.BatchSize = 256
 	opts.Model = nn.Config{Arch: nn.SAGE, InDim: td.FeatDim, Hidden: 32, Classes: td.NumClasses, Layers: 2}
 	opts.Sample = sample.Config{Fanout: []int{10, 5}}
@@ -119,7 +119,7 @@ func CompressSweep(cfg RunConfig) (*Table, error) {
 	td := compressData(cfg)
 	var base compressResult
 	for i, codec := range codecs {
-		res, err := compressRun(td, codec)
+		res, err := compressRun(td, codec, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -74,11 +74,11 @@ func TestCompressRunDeterministic(t *testing.T) {
 	}
 	td := compressData(RunConfig{Shrink: 8})
 	codec := compress.NewInt8(2023)
-	a, err := compressRun(td, codec)
+	a, err := compressRun(td, codec, RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := compressRun(td, codec)
+	b, err := compressRun(td, codec, RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,7 +33,7 @@ func Fig1(cfg RunConfig) (*Table, error) {
 		[]string{"UVA", "Ideal", "CSP"}, dsList)
 	for _, ds := range dsList {
 		td := prepared(ds, 8, cfg.Shrink, false, true)
-		opts := baseOpts(td)
+		opts := baseOpts(td, cfg)
 		opts.Model = sageModel(td)
 		opts.Sample = defaultFanout()
 
@@ -99,7 +99,7 @@ func epochTimeTable(cfg RunConfig, title string, gcn bool, counts []int) (*Table
 	for _, ds := range dsList {
 		for _, n := range counts {
 			td := prepared(ds, n, cfg.Shrink, false, true)
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			if gcn {
 				opts.Model = gcnModel(td)
 			} else {
@@ -147,7 +147,7 @@ func Table6(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		for _, n := range gpuCounts {
 			td := prepared(ds, n, cfg.Shrink, false, true)
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			for _, name := range systemNames {
@@ -174,7 +174,7 @@ func Table7(cfg RunConfig) (*Table, error) {
 		[]string{"FastGCN", "DSP"}, dsList)
 	for _, ds := range dsList {
 		td := prepared(ds, 8, cfg.Shrink, false, true)
-		opts := baseOpts(td)
+		opts := baseOpts(td, cfg)
 		opts.Sample = sample.Config{Fanout: []int{1000, 1000}, LayerWise: true}
 		opts.Model = nn.Config{Arch: nn.SAGE, InDim: td.FeatDim, Hidden: 256, Classes: td.NumClasses, Layers: 2}
 		for _, name := range []string{"FastGCN", "DSP"} {
@@ -206,7 +206,7 @@ func Fig6(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		for _, n := range gpuCounts {
 			td := prepared(ds, n, cfg.Shrink, false, true)
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			for _, name := range []string{"DSP-Seq", "DSP"} {
@@ -252,7 +252,7 @@ func Fig9(cfg RunConfig) (*Table, error) {
 	}
 	t := NewTable("Figure 9: training quality (accuracy and cumulative sim-time per batch count)", "", rows, cols)
 	for _, name := range systems {
-		opts := baseOpts(td)
+		opts := baseOpts(td, cfg)
 		opts.BatchSize = 256
 		opts.Model = nn.Config{Arch: nn.SAGE, InDim: td.FeatDim, Hidden: 32, Classes: td.NumClasses, Layers: 2}
 		opts.Sample = sample.Config{Fanout: []int{10, 5}}
@@ -321,7 +321,7 @@ func Fig10(cfg RunConfig) (*Table, error) {
 		total := std.CacheBudgetBytes(6 << 30)
 		for i, f := range fractions {
 			featBudget := int64(f * float64(total))
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			opts.FeatureCacheBudget = featBudget
@@ -363,7 +363,7 @@ func Fig11(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		td := prepared(ds, 4, cfg.Shrink, true, true)
 		for _, mode := range []string{"CSP", "PullData"} {
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = sample.Config{Fanout: []int{15, 10, 5}, Biased: true}
 			opts.PullData = mode == "PullData"
@@ -392,7 +392,7 @@ func Fig12(cfg RunConfig) (*Table, error) {
 	for _, ds := range dsList {
 		for _, n := range gpuCounts {
 			td := prepared(ds, n, cfg.Shrink, false, true)
-			opts := baseOpts(td)
+			opts := baseOpts(td, cfg)
 			opts.Model = sageModel(td)
 			opts.Sample = defaultFanout()
 			var times [2]float64

@@ -58,7 +58,7 @@ func OOCSweep(cfg RunConfig) (*Table, error) {
 	}
 	results := map[string]outcome{}
 	for _, p := range oocSweepPoints {
-		sys, err := buildSystem("DSP", oocSweepOpts(td, p, blockBytes))
+		sys, err := buildSystem("DSP", oocSweepOpts(td, p, blockBytes, cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -114,8 +114,8 @@ func OOCSweep(cfg RunConfig) (*Table, error) {
 // shares the workload; only the storage mode varies, so epoch-time deltas are
 // attributable to it. The ooc points pin tight GPU topology and feature
 // budgets so the host tier actually sees traffic.
-func oocSweepOpts(td *train.Data, p oocPoint, blockBytes int64) train.Options {
-	opts := baseOpts(td)
+func oocSweepOpts(td *train.Data, p oocPoint, blockBytes int64, cfg RunConfig) train.Options {
+	opts := baseOpts(td, cfg)
 	opts.Model = sageModel(td)
 	opts.Sample = defaultFanout()
 	opts.CompressTopology = p.compress

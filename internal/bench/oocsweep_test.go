@@ -76,7 +76,7 @@ func TestOOCRunReportByteIdentical(t *testing.T) {
 	point := oocPoint{name: "det", compress: true, ooc: true, budgetFrac: 0.50, prefetch: true}
 
 	report := func() []byte {
-		sys, err := buildSystem("DSP", oocSweepOpts(td, point, blockBytes))
+		sys, err := buildSystem("DSP", oocSweepOpts(td, point, blockBytes, RunConfig{}))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -21,7 +21,7 @@ func PerfReport(cfg RunConfig) (*prof.RunReport, error) {
 		nGPU   = 4
 	)
 	td := prepared(dsName, nGPU, cfg.Shrink, false, true)
-	opts := baseOpts(td)
+	opts := baseOpts(td, cfg)
 	sys, err := core.New(opts)
 	if err != nil {
 		return nil, err

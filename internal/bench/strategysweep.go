@@ -42,7 +42,7 @@ func StrategySweep(cfg RunConfig) (*Table, error) {
 	for _, f := range strategySweepWidths {
 		td := strategySweepData(f, cfg.Shrink)
 		for _, name := range strategySweepSystems {
-			sys, err := buildSystem(name, strategySweepOpts(td))
+			sys, err := buildSystem(name, strategySweepOpts(td, cfg))
 			if err != nil {
 				return nil, fmt.Errorf("%s f%d: %w", name, f, err)
 			}
@@ -112,8 +112,8 @@ func strategySweepData(featDim, shrink int) *train.Data {
 // over the paper fan-out, cost-only compute. The small hidden width keeps
 // the push-pull exchange volume well below the widest feature width, which
 // is the regime P3 is built for.
-func strategySweepOpts(td *train.Data) train.Options {
-	opts := baseOpts(td)
+func strategySweepOpts(td *train.Data, cfg RunConfig) train.Options {
+	opts := baseOpts(td, cfg)
 	opts.Model = sageModel(td)
 	opts.Model.Hidden = 64
 	opts.Sample = defaultFanout()

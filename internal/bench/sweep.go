@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Sweep is the unified entry point for parameter sweeps: one name, one Run.
+// The seven serving/storage/strategy sweeps used to be seven ad-hoc
+// functions each wired separately into the CLI; they now share this
+// interface, one registry (Sweeps, folded into Experiments for dispatch and
+// -list) and one table renderer (text or JSON via RunConfig.JSON).
+type Sweep interface {
+	// Name is the registry id (the dspbench -exp value).
+	Name() string
+	// Run executes the sweep at cfg's scale and renders its table to w.
+	Run(w io.Writer, cfg RunConfig) error
+}
+
+// Asserter is the optional invariant hook on a Sweep: after Run, drivers
+// (dspbench, CI smokes) call Assert on sweeps that implement it to validate
+// the result table beyond "it printed".
+type Asserter interface {
+	Assert() error
+}
+
+// tableSweep adapts a Table-producing sweep function to Sweep and retains
+// the last result for Assert.
+type tableSweep struct {
+	name  string
+	f     func(cfg RunConfig) (*Table, error)
+	check func(*Table) error // extra sweep-specific invariant (may be nil)
+	last  *Table
+}
+
+func (s *tableSweep) Name() string { return s.name }
+
+func (s *tableSweep) Run(w io.Writer, cfg RunConfig) error {
+	t, err := s.f(cfg)
+	if err != nil {
+		return err
+	}
+	s.last = t
+	return renderTable(w, t, cfg)
+}
+
+// Assert validates the last Run's table: a consistent rows x cols grid of
+// finite cells, plus the sweep's own invariant when one is registered.
+func (s *tableSweep) Assert() error {
+	t := s.last
+	if t == nil {
+		return fmt.Errorf("bench: sweep %q has no result to assert (Run first)", s.name)
+	}
+	if len(t.Cells) != len(t.Rows) {
+		return fmt.Errorf("bench: sweep %q: %d cell rows for %d row labels", s.name, len(t.Cells), len(t.Rows))
+	}
+	for i, row := range t.Cells {
+		if len(row) != len(t.Cols) {
+			return fmt.Errorf("bench: sweep %q row %q: %d cells for %d col labels", s.name, t.Rows[i], len(row), len(t.Cols))
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("bench: sweep %q cell (%s, %s) is %v", s.name, t.Rows[i], t.Cols[j], v)
+			}
+		}
+	}
+	if s.check != nil {
+		return s.check(t)
+	}
+	return nil
+}
+
+// Sweeps is the single sweep registry. Each entry also registers under its
+// name in Experiments (init below), so dspbench dispatch and -list see one
+// namespace.
+var Sweeps = []Sweep{
+	&tableSweep{name: "serve-load", f: ServeLoad},
+	&tableSweep{name: "cache-sweep", f: CacheSweep},
+	&tableSweep{name: "compress-sweep", f: CompressSweep},
+	&tableSweep{name: "router-sweep", f: RouterSweep},
+	&tableSweep{name: "ooc-sweep", f: OOCSweep},
+	&tableSweep{name: "strategy-sweep", f: StrategySweep},
+	&tableSweep{name: "fault-sweep", f: FaultSweep},
+}
+
+// SweepByName returns the registered sweep, or nil.
+func SweepByName(name string) Sweep {
+	for _, s := range Sweeps {
+		if s.Name() == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func init() {
+	for _, s := range Sweeps {
+		if _, dup := Experiments[s.Name()]; dup {
+			panic(fmt.Sprintf("bench: sweep %q collides with an experiment id", s.Name()))
+		}
+		Experiments[s.Name()] = s.Run
+	}
+}
+
+// renderTable is the shared table output path: aligned text, or one JSON
+// object when cfg.JSON is set.
+func renderTable(w io.Writer, t *Table, cfg RunConfig) error {
+	if cfg.JSON {
+		return t.WriteJSON(w)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// WriteJSON emits the table as a single machine-readable JSON object.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Title string      `json:"title"`
+		Unit  string      `json:"unit,omitempty"`
+		Cols  []string    `json:"cols"`
+		Rows  []string    `json:"rows"`
+		Cells [][]float64 `json:"cells"`
+		Notes []string    `json:"notes,omitempty"`
+	}{t.Title, t.Unit, t.Cols, t.Rows, t.Cells, t.Notes})
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableCellErrors(t *testing.T) {
+	tb := NewTable("t", "ms", []string{"r1", "r2"}, []string{"c1", "c2"})
+	if err := tb.SetCell("r2", "c1", 4.5); err != nil {
+		t.Fatalf("SetCell on known names: %v", err)
+	}
+	v, err := tb.GetCell("r2", "c1")
+	if err != nil || v != 4.5 {
+		t.Fatalf("GetCell = %v, %v; want 4.5, nil", v, err)
+	}
+	if _, err := tb.GetCell("nope", "c1"); err == nil {
+		t.Fatal("GetCell with unknown row: want error")
+	} else if !strings.Contains(err.Error(), `unknown row "nope"`) || !strings.Contains(err.Error(), "r1, r2") {
+		t.Fatalf("unknown-row error should name the row and list valid ones, got: %v", err)
+	}
+	if err := tb.SetCell("r1", "nope", 1); err == nil {
+		t.Fatal("SetCell with unknown col: want error")
+	} else if !strings.Contains(err.Error(), `unknown col "nope"`) || !strings.Contains(err.Error(), "c1, c2") {
+		t.Fatalf("unknown-col error should name the col and list valid ones, got: %v", err)
+	}
+	// The panicking wrappers delegate to the same resolution.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get with unknown names should panic")
+		}
+	}()
+	tb.Get("nope", "c1")
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tb := NewTable("grid", "s", []string{"a"}, []string{"x", "y"})
+	tb.Set("a", "y", 2)
+	var buf bytes.Buffer
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title string      `json:"title"`
+		Cols  []string    `json:"cols"`
+		Cells [][]float64 `json:"cells"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Title != "grid" || len(got.Cols) != 2 || got.Cells[0][1] != 2 {
+		t.Fatalf("unexpected JSON round-trip: %+v", got)
+	}
+}
+
+func TestSweepRegistry(t *testing.T) {
+	want := []string{"serve-load", "cache-sweep", "compress-sweep", "router-sweep",
+		"ooc-sweep", "strategy-sweep", "fault-sweep"}
+	for _, name := range want {
+		s := SweepByName(name)
+		if s == nil {
+			t.Fatalf("sweep %q not registered", name)
+		}
+		if s.Name() != name {
+			t.Fatalf("sweep %q reports name %q", name, s.Name())
+		}
+		if _, ok := Experiments[name]; !ok {
+			t.Fatalf("sweep %q not folded into Experiments", name)
+		}
+	}
+	if SweepByName("table4") != nil {
+		t.Fatal("non-sweep experiment must not resolve as a sweep")
+	}
+	if _, ok := SweepByName("serve-load").(Asserter); !ok {
+		t.Fatal("table sweeps should implement Asserter")
+	}
+	// Assert before Run reports a clear error rather than passing vacuously.
+	if err := (&tableSweep{name: "x", f: ServeLoad}).Assert(); err == nil {
+		t.Fatal("Assert before Run: want error")
+	}
+}

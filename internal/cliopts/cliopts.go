@@ -31,6 +31,7 @@ type Common struct {
 	compressGrad *string
 	report       *string
 	strategy     *string
+	parallel     *int
 }
 
 // Register installs the shared flags on fs and returns the bound Common.
@@ -48,7 +49,17 @@ func Register(fs *flag.FlagSet) *Common {
 		"write the machine-readable run report ("+prof.Schema+" JSON) to this file")
 	c.strategy = fs.String("strategy", "dsp",
 		"execution strategy: dsp (paper layout: partitioned features, hot/cold gather) or p3 (dimension-partitioned features, push-pull layer 1)")
+	c.parallel = fs.Int("parallel", 1,
+		"OS threads for offloaded simulator data work (sampling draws, codec encodes, reductions); results are bitwise identical at any value")
 	return c
+}
+
+// Parallel returns the -parallel thread budget (minimum 1).
+func (c *Common) Parallel() int {
+	if *c.parallel < 1 {
+		return 1
+	}
+	return *c.parallel
 }
 
 // Graph holds the graph-storage flag values shared by dsptrain, dspserve and

@@ -34,6 +34,7 @@ package comm
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/compress"
 	"repro/internal/fault"
 	"repro/internal/hw"
@@ -58,6 +59,13 @@ type Opts struct {
 	// layer): the BSP sum stays bitwise identical across strategies, only
 	// the bill shrinks. Ignored by the other collectives.
 	PriceElems int
+	// Static promises that the caller's contribution buffer holds content
+	// bitwise identical to what the SAME buffer held on the previous
+	// AllReduceSum call that also set Static (cost-only training reduces
+	// the same all-zero gradient vector every round). The communicator may
+	// then reuse the cached encoded image instead of re-quantising. Ignored
+	// by the other collectives and without a lossy codec.
+	Static bool
 }
 
 // Raw returns Opts for an uncompressed payload of elemBytes-sized elements.
@@ -106,6 +114,16 @@ type Communicator struct {
 	gate    Gate
 	comp    map[hw.TrafficClass]*CompressionStats
 
+	// Allreduce fast path: BSP summation in rank order makes every rank's
+	// result bitwise identical, so the reduction is computed ONCE per
+	// collective (by the first rank through the post barrier) into a pooled
+	// buffer all ranks copy from, instead of N full decode+sum passes.
+	pool   arena.Pool         // recycled sum/scratch buffers
+	par    *sim.ParallelGroup // offload/segment-parallel data work
+	arSum  []float32          // the in-flight collective's shared reduction
+	arLive int                // live contributors captured with arSum
+	arEnc  []arEncEntry       // per-rank cached encodes for Static reduces
+
 	// Fault-aware membership (serving degraded mode). When view is set,
 	// collectives synchronise over the live ranks only and an in-flight
 	// collective aborts (panics fault.Aborted) the instant a member dies, so
@@ -131,12 +149,15 @@ func (c *Communicator) SetView(v *fault.View) {
 	c.bcond = c.Machine.Eng.NewEvent()
 	v.OnChange(func() {
 		// A member died: void the in-flight attempt. Arrivals reset, posted
-		// payloads are dropped, and every waiter wakes to observe the stale
-		// generation and unwind.
+		// payloads are dropped (the shared reduction with them — it is NOT
+		// returned to the pool, since an unwinding rank may still hold a
+		// reference), and every waiter wakes to observe the stale generation
+		// and unwind.
 		c.arrived = 0
 		for i := range c.slots {
 			c.slots[i] = nil
 		}
+		c.arSum, c.arLive = nil, 0
 		c.notify()
 	})
 }
@@ -329,10 +350,124 @@ func AllGather[T any](c *Communicator, p *sim.Proc, rank int, data []T, o Opts) 
 }
 
 // arPost is one rank's allreduce contribution: the raw vector plus, under a
-// lossy codec, its encoded image (what actually rides the wire).
+// lossy codec, its encoded image (what actually rides the wire). Encoding is
+// offloaded; tick's Join is the commit point at which enc is valid.
 type arPost struct {
-	raw []float32
-	enc *compress.Buf
+	raw  []float32
+	enc  *compress.Buf
+	tick *sim.Ticket
+}
+
+// arEncEntry caches one rank's encoded contribution for Opts.Static
+// allreduces, keyed by the buffer's identity (backing array + length) and
+// the codec; the Static contract guarantees the content hasn't changed.
+type arEncEntry struct {
+	ptr   *float32
+	n     int
+	codec string
+	enc   *compress.Buf
+}
+
+// staticEncode returns rank's cached encode of data under o.Codec, encoding
+// (inline, once) on the first call or whenever the buffer or codec changes.
+func (c *Communicator) staticEncode(rank int, data []float32, o Opts) *compress.Buf {
+	if c.arEnc == nil {
+		c.arEnc = make([]arEncEntry, c.N)
+	}
+	e := &c.arEnc[rank]
+	if e.enc != nil && e.ptr == &data[0] && e.n == len(data) && e.codec == o.Codec.Name() {
+		return e.enc
+	}
+	*e = arEncEntry{ptr: &data[0], n: len(data), codec: o.Codec.Name(), enc: o.Codec.Encode(data)}
+	return e.enc
+}
+
+// group lazily binds the communicator to the engine's parallel budget.
+func (c *Communicator) group() *sim.ParallelGroup {
+	if c.par == nil {
+		c.par = c.Machine.Eng.NewParallelGroup()
+	}
+	return c.par
+}
+
+// reduceOnce computes the rank-order sum of all live posted contributions
+// into a pooled buffer, decoding lossy contributions first. Called by the
+// first rank through the post barrier; every other rank reuses the result
+// (bitwise identical to what it would have computed itself). Decodes run
+// segment-free but rank-parallel on the worker pool; the summation is
+// segment-parallel with the per-element rank order preserved.
+func (c *Communicator) reduceOnce(n int, o Opts, lossy bool) {
+	live := 0
+	posts := make([]*arPost, 0, c.N)
+	for q := 0; q < c.N; q++ {
+		if !c.alive(q) || c.slots[q] == nil {
+			continue
+		}
+		live++
+		posts = append(posts, c.slots[q].(*arPost))
+	}
+	sum := c.pool.Get(n)
+	contribs := make([][]float32, 0, len(posts))
+	var scratch [][]float32
+	if lossy {
+		encs := make([]*compress.Buf, len(posts))
+		for i, peer := range posts {
+			peer.tick.Join() // enc is valid from here
+			encs[i] = peer.enc
+		}
+		// When every contribution is constant per chunk (scale-0 int8
+		// encodes — cost-only training's untouched zero gradients), the sum
+		// collapses to one add sequence per chunk instead of per element.
+		if compress.SumConstant(encs, sum) {
+			c.arSum, c.arLive = sum, live
+			return
+		}
+		var decodes []func()
+		for _, enc := range encs {
+			dst := c.pool.Get(n)
+			scratch = append(scratch, dst)
+			enc := enc
+			decodes = append(decodes, func() { o.Codec.Decode(enc, dst) })
+			contribs = append(contribs, dst)
+		}
+		c.group().Run(decodes)
+	} else {
+		for _, peer := range posts {
+			contribs = append(contribs, peer.raw)
+		}
+	}
+	// Segment-parallel sum; each element still accumulates in rank order.
+	const segElems = 64 << 10
+	if n <= segElems || len(contribs) == 0 {
+		for _, contrib := range contribs {
+			for i, v := range contrib {
+				sum[i] += v
+			}
+		}
+	} else {
+		var adds []func()
+		for lo := 0; lo < n; lo += segElems {
+			lo := lo
+			hi := lo + segElems
+			if hi > n {
+				hi = n
+			}
+			adds = append(adds, func() {
+				dst := sum[lo:hi]
+				for _, contrib := range contribs {
+					seg := contrib[lo:hi]
+					for i, v := range seg {
+						dst[i] += v
+					}
+				}
+			})
+		}
+		c.group().Run(adds)
+	}
+	for _, s := range scratch {
+		c.pool.Put(s)
+	}
+	c.arSum, c.arLive = sum, live
 }
 
 // AllReduceSum sums float32 vectors across ranks in place, charging
@@ -354,33 +489,25 @@ func (c *Communicator) AllReduceSum(p *sim.Proc, rank int, data []float32, o Opt
 	post := &arPost{raw: data}
 	lossy := o.Codec != nil && !compress.Identity(o.Codec)
 	if lossy {
-		post.enc = o.Codec.Encode(data)
+		if o.Static && len(data) > 0 {
+			post.enc = c.staticEncode(rank, data, o)
+		} else {
+			// Quantisation is pure data work keyed by element index and value;
+			// offload it so ranks' encodes overlap in real time. data is
+			// untouched until the copy-out barrier, well after the Join.
+			post.tick = c.group().Submit(func() { post.enc = o.Codec.Encode(data) })
+		}
 	}
 	c.slots[rank] = post
 	c.arrive(p, rank)
-	// Deterministic, rank-order reduction into a fresh buffer (live ranks
-	// only under a membership view).
-	sum := make([]float32, len(data))
-	var scratch []float32
-	if lossy {
-		scratch = make([]float32, len(data))
+	// Deterministic rank-order reduction (live ranks only under a
+	// membership view), computed once per collective and shared: BSP
+	// summation order makes every rank's sum bitwise identical, so the
+	// first rank resumed from the barrier reduces for everyone.
+	if c.arSum == nil {
+		c.reduceOnce(len(data), o, lossy)
 	}
-	live := 0
-	for q := 0; q < c.N; q++ {
-		if !c.alive(q) || c.slots[q] == nil {
-			continue
-		}
-		live++
-		peer := c.slots[q].(*arPost)
-		contrib := peer.raw
-		if peer.enc != nil {
-			o.Codec.Decode(peer.enc, scratch)
-			contrib = scratch
-		}
-		for i, v := range contrib {
-			sum[i] += v
-		}
-	}
+	sum, live := c.arSum, c.arLive
 	// Timed ring: each rank sends 2(live-1) chunks of the codec-priced
 	// vector divided over the live ranks, to its live successor.
 	dev := c.Machine.GPUs[rank]
@@ -407,6 +534,12 @@ func (c *Communicator) AllReduceSum(p *sim.Proc, rank int, data []float32, o Opt
 	c.arrive(p, rank)
 	copy(data, sum)
 	c.arrive(p, rank)
+	// Every rank has copied out; the first one through recycles the shared
+	// buffer for the next collective.
+	if c.arSum != nil {
+		c.pool.Put(c.arSum)
+		c.arSum, c.arLive = nil, 0
+	}
 }
 
 // Broadcast sends root's slice to all ranks (returned; root gets its own;

@@ -275,7 +275,9 @@ func (c Int8) Encode(vals []float32) *Buf {
 		b.Scales[ci] = scale
 		for i := lo; i < hi; i++ {
 			q := (vals[i] - mn) / scale
-			fl := float32(math.Floor(float64(q)))
+			// q is non-negative (vals[i] >= mn), so integer truncation is
+			// floor — same result as the float64 math.Floor round trip.
+			fl := float32(int32(q))
 			frac := q - fl
 			code := int32(fl)
 			if frac > 0 {
@@ -296,10 +298,70 @@ func (c Int8) Encode(vals []float32) *Buf {
 	return b
 }
 
+// SumConstant detects the case where every contribution of an int8-encoded
+// allreduce is constant per chunk (scale 0 — e.g. the all-zero gradients of
+// cost-only training) and fills dst with their rank-order sum directly:
+// every element of a chunk would run the identical add sequence, so it is
+// computed once per chunk. Returns false, leaving dst untouched, when any
+// buffer is not an all-constant int8 encoding; the caller then runs the
+// general decode-and-accumulate path. When it returns true, dst is exactly
+// — bit for bit — what decoding each buffer and accumulating into a zeroed
+// dst would have produced.
+func SumConstant(bufs []*Buf, dst []float32) bool {
+	for _, b := range bufs {
+		if b == nil || b.U8 == nil || b.Scales == nil || b.Mins == nil || b.N != len(dst) {
+			return false
+		}
+		for _, s := range b.Scales {
+			if s != 0 {
+				return false
+			}
+		}
+	}
+	n := len(dst)
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		ci := lo / chunkSize
+		var v float32 // the zeroed accumulator element
+		for _, b := range bufs {
+			// Identical to Decode's constant-chunk fill (mn + 0*sc) added in.
+			v += b.Mins[ci] + 0*b.Scales[ci]
+		}
+		seg := dst[lo:hi]
+		for i := range seg {
+			seg[i] = v
+		}
+	}
+	return true
+}
+
 func (Int8) Decode(b *Buf, out []float32) {
-	for i := range out {
-		ci := i / chunkSize
-		out[i] = b.Mins[ci] + float32(b.U8[i])*b.Scales[ci]
+	n := len(out)
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		ci := lo / chunkSize
+		mn, sc := b.Mins[ci], b.Scales[ci]
+		dst := out[lo:hi]
+		src := b.U8[lo:hi:hi]
+		if sc == 0 {
+			// Constant chunk: every element decodes to the same value. The
+			// explicit mn + 0*sc keeps IEEE semantics (zero-sign handling)
+			// identical to the general path below for any code byte.
+			v := mn + 0*sc
+			for i := range dst {
+				dst[i] = v
+			}
+			continue
+		}
+		for i, u := range src {
+			dst[i] = mn + float32(u)*sc
+		}
 	}
 }
 

@@ -102,6 +102,7 @@ func New(opts train.Options) (*DSP, error) {
 	n := d.NumGPUs()
 	s := &DSP{Opts: opts}
 	s.m = hw.NewMachineScaled(n, opts.GPU, opts.CPU, opts.LatencyScale)
+	s.m.Eng.SetParallelism(opts.Parallel)
 	topoBudget := opts.TopoCacheBudget
 	if topoBudget <= 0 {
 		// Cache the whole patch when it fits; otherwise keep the hottest

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/comm"
 	"repro/internal/compress"
 	"repro/internal/csp"
@@ -53,6 +54,19 @@ type MultiDSP struct {
 	gpusEach int
 	steps    int
 	zeros    []float32
+
+	// pool recycles gather staging buffers (RealCompute feature assembly);
+	// par offloads their fill between DES commit points.
+	pool arena.Pool
+	par  *sim.ParallelGroup
+}
+
+// group lazily binds the offload group to the cluster engine.
+func (s *MultiDSP) group() *sim.ParallelGroup {
+	if s.par == nil {
+		s.par = s.cluster.Eng.NewParallelGroup()
+	}
+	return s.par
 }
 
 // NewMulti builds a cluster-wide DSP instance with machines copies of the
@@ -70,6 +84,7 @@ func NewMulti(opts train.Options, machines int, net hw.NetworkSpec) (*MultiDSP, 
 	n := d.NumGPUs()
 	s := &MultiDSP{Opts: opts, NumMachines: machines, gpusEach: n}
 	s.cluster = hw.NewCluster(machines, n, opts.GPU, opts.CPU, net, opts.LatencyScale)
+	s.cluster.Eng.SetParallelism(opts.Parallel)
 	s.interBarrier = s.cluster.Eng.NewBarrier(machines * n)
 	s.interSlots = make([][]float32, machines)
 
@@ -190,6 +205,16 @@ func (s *MultiDSP) loadStage(p *sim.Proc, machine, rank int, mb *sample.MiniBatc
 	local, remote, host := store.Split(ids, rank)
 	n := s.gpusEach
 
+	// Stage the real feature gather on a worker thread so it overlaps the
+	// virtual-time NIC/NVLink choreography below; the buffer is pooled and
+	// recycled by trainStage once the step has consumed it.
+	var feats []float32
+	var gather *sim.Ticket
+	if s.Opts.RealCompute {
+		feats = s.pool.Get(len(ids) * d.FeatDim)
+		gather = s.group().Submit(func() { train.GatherFeaturesInto(feats, d, mb) })
+	}
+
 	// Cold rows: split by owning machine.
 	var mine int64
 	foreign := make([]int64, s.NumMachines)
@@ -260,10 +285,7 @@ func (s *MultiDSP) loadStage(p *sim.Proc, machine, rank int, mb *sample.MiniBatc
 	uvaDone.Wait(p)
 	netDone.Wait(p)
 	dev.RunKernel(p, hw.KernelGather, int64(len(ids))*int64(d.RowBytes()))
-	var feats []float32
-	if s.Opts.RealCompute {
-		feats = train.GatherFeatures(d, mb)
-	}
+	gather.Join()
 	return strategy.Loaded{MB: mb, Feats: feats}
 }
 
@@ -284,6 +306,9 @@ func (s *MultiDSP) trainStage(p *sim.Proc, machine, rank int, l strategy.Loaded,
 			st.Seen += len(mb.Seeds)
 		}
 		m.GradVector(grad)
+		if l.Feats != nil {
+			s.pool.Put(l.Feats) // the step has consumed the staged gather
+		}
 	} else {
 		if len(mb.Seeds) > 0 {
 			dev.RunKernel(p, hw.KernelGather, nn.NominalAggBytes(s.Opts.Model, mb))
@@ -292,7 +317,10 @@ func (s *MultiDSP) trainStage(p *sim.Proc, machine, rank int, l strategy.Loaded,
 	}
 	// Intra-machine allreduce over NVLink (codec-aware: the machine sum
 	// already carries the gradient codec's quantisation error).
-	s.trainerComms[machine].AllReduceSum(p, rank, grad, comm.Compressed(s.Opts.GradCodec, hw.TrafficGradient))
+	gradOpts := comm.Compressed(s.Opts.GradCodec, hw.TrafficGradient)
+	// Cost-only never writes grad (all-zero every round): encode is reusable.
+	gradOpts.Static = !s.Opts.RealCompute
+	s.trainerComms[machine].AllReduceSum(p, rank, grad, gradOpts)
 	// Inter-machine ring between machine leaders (rank 0), then the global
 	// sum is re-established on every replica. The rendezvous is a full
 	// cluster barrier: trainer steps are aligned across machines. Each

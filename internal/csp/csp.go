@@ -136,6 +136,31 @@ type World struct {
 	// master copy of the dead GPU's patch (charged as UVA reads), so sampling
 	// results stay bit-identical while the fleet runs short-handed.
 	view *fault.View
+
+	// par offloads the owner-side neighbour draws to worker threads between
+	// the shuffle and reshuffle commit points; dedup holds one per-rank
+	// reusable block-assembly table. Both are lazily built.
+	par   *sim.ParallelGroup
+	dedup []*sample.Deduper
+}
+
+// group lazily binds the world to the engine's parallel worker budget.
+func (w *World) group() *sim.ParallelGroup {
+	if w.par == nil {
+		w.par = w.M.Eng.NewParallelGroup()
+	}
+	return w.par
+}
+
+// deduper returns rank's reusable block-assembly table.
+func (w *World) deduper(rank int) *sample.Deduper {
+	if w.dedup == nil {
+		w.dedup = make([]*sample.Deduper, w.Comm.N)
+	}
+	if w.dedup[rank] == nil {
+		w.dedup[rank] = sample.NewDeduper(int(w.Offsets[len(w.Offsets)-1]))
+	}
+	return w.dedup[rank]
 }
 
 // SetHostStore attaches the out-of-core tier (nil detaches it).
@@ -444,8 +469,27 @@ func (w *World) sampleLayer(p *sim.Proc, rank int, dst []graph.NodeID, counts []
 	inTasks := comm.AllToAll(w.Comm, p, rank, outTasks, comm.Raw(taskBytes, hw.TrafficSample))
 
 	// --- sample: one fused kernel over every received task ------------
+	// The actual neighbour draws are pure data work (each draw is seeded by
+	// (requester seed, layer, node id), independent of execution order), so
+	// they are offloaded to the worker pool here and joined at the
+	// reshuffle commit point below; the timed kernel/UVA charges in between
+	// overlap the draws in real time.
 	replyCounts := make([][]int32, n)
 	replySamples := make([][]graph.NodeID, n)
+	draws := w.group().Submit(func() {
+		for q := 0; q < n; q++ {
+			replyCounts[q] = make([]int32, len(inTasks[q]))
+			var buf []graph.NodeID
+			for i, t := range inTasks[q] {
+				tps := w.Patches[w.Owner(t.Node)]
+				before := len(buf)
+				buf = sample.DrawAdj(tps.Neighbors(t.Node), tps.NeighborWeights(t.Node),
+					t.Node, layer, int(t.Count), cfg, peerSeed[q], buf)
+				replyCounts[q][i] = int32(len(buf) - before)
+			}
+			replySamples[q] = buf
+		}
+	})
 	var fusedWork, hostItems, decodeBytes int64
 	var hostNodes []graph.NodeID
 	for q := 0; q < n; q++ {
@@ -489,20 +533,8 @@ func (w *World) sampleLayer(p *sim.Proc, rank int, dst []graph.NodeID, counts []
 			}
 		}
 	}
-	for q := 0; q < n; q++ {
-		replyCounts[q] = make([]int32, len(inTasks[q]))
-		var buf []graph.NodeID
-		for i, t := range inTasks[q] {
-			tps := w.Patches[w.Owner(t.Node)]
-			before := len(buf)
-			buf = sample.DrawAdj(tps.Neighbors(t.Node), tps.NeighborWeights(t.Node),
-				t.Node, layer, int(t.Count), cfg, peerSeed[q], buf)
-			replyCounts[q][i] = int32(len(buf) - before)
-		}
-		replySamples[q] = buf
-	}
-
 	// --- reshuffle: results travel back to requesters ------------------
+	draws.Join() // commit point: replyCounts/replySamples valid from here
 	backCounts := comm.AllToAll(w.Comm, p, rank, replyCounts, comm.Raw(4, hw.TrafficSample))
 	backSamples := comm.AllToAll(w.Comm, p, rank, replySamples, comm.Raw(idBytes, hw.TrafficSample))
 
@@ -531,7 +563,7 @@ func (w *World) sampleLayer(p *sim.Proc, rank int, dst []graph.NodeID, counts []
 	if len(samples) > 0 {
 		dev.RunKernel(p, hw.KernelGather, int64(len(samples))*16)
 	}
-	return sample.BuildBlock(dst, outCounts, samples)
+	return w.deduper(rank).BuildBlock(dst, outCounts, samples)
 }
 
 // SamplingCommVolume reports the sample-class wire bytes accumulated so far

@@ -109,9 +109,11 @@ func NewRouter(cfg Config) (*Router, error) {
 		return nil, err
 	}
 	n := cfg.maxFleets()
+	eng := sim.NewEngine()
+	eng.SetParallelism(cfg.Serve.Parallel)
 	r := &Router{
 		cfg:       cfg,
-		eng:       sim.NewEngine(),
+		eng:       eng,
 		state:     make([]State, n),
 		view:      fault.NewView(n),
 		win:       make([]*metrics.Histogram, n),

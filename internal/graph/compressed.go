@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -78,7 +79,7 @@ func (g *CSR) Sorted() *CSR {
 		lo, hi := out.Indptr[v], out.Indptr[v+1]
 		ids := out.Indices[lo:hi]
 		if out.Weights == nil {
-			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			slices.Sort(ids)
 			continue
 		}
 		sort.Stable(idWeightPairs{ids, out.Weights[lo:hi]})
@@ -140,7 +141,7 @@ func CompressBlocks(g *CSR, blockSize int) *CompressedCSR {
 			ws = append(ws[:0], g.NeighborWeights(NodeID(v))...)
 			sort.Stable(idWeightPairs{ids, ws})
 		} else {
-			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			slices.Sort(ids)
 			ws = nil
 		}
 		enc.AppendNode(ids, ws)

@@ -12,7 +12,7 @@ package partition
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -189,7 +189,7 @@ func buildWork(g *graph.CSR) *workGraph {
 	for v := 0; v < n; v++ {
 		w.nw[v] = 1
 		bucket := bucketed[counts[v]:counts[v+1]]
-		sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+		slices.Sort(bucket)
 		for i := 0; i < len(bucket); {
 			j := i
 			for j < len(bucket) && bucket[j] == bucket[i] {
@@ -276,11 +276,11 @@ func (w *workGraph) coarsen(r *rng.RNG) ([]int32, *workGraph) {
 			edges = append(edges, edge{cv, cu, w.ew[i]})
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].u != edges[j].u {
-			return edges[i].u < edges[j].u
+	slices.SortFunc(edges, func(a, b edge) int {
+		if a.u != b.u {
+			return int(a.u) - int(b.u)
 		}
-		return edges[i].v < edges[j].v
+		return int(a.v) - int(b.v)
 	})
 	coarse.indptr = make([]int64, cn+1)
 	idx := 0

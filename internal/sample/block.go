@@ -30,6 +30,62 @@ type Block struct {
 // NumEdges returns the number of sampled (src, dst) pairs.
 func (b *Block) NumEdges() int { return len(b.Src) }
 
+// Deduper assembles blocks with a reusable direct-address mark table instead
+// of a per-call hash map — the dominant cost of BuildBlock on the hot
+// sampling path. One Deduper serves one rank (it is not safe for concurrent
+// use); node ids must stay below the numNodes it was sized for.
+type Deduper struct {
+	mark []int32 // mark[v] = local index + 1 for the in-flight block
+}
+
+// NewDeduper returns a deduper for global ids in [0, numNodes).
+func NewDeduper(numNodes int) *Deduper {
+	return &Deduper{mark: make([]int32, numNodes)}
+}
+
+// BuildBlock is identical in results to the package-level BuildBlock but
+// reuses the deduper's mark table for the unique-input-node index.
+func (d *Deduper) BuildBlock(dst []graph.NodeID, counts []int32, samples []graph.NodeID) *Block {
+	if len(dst) != len(counts) {
+		panic("sample: dst/counts length mismatch")
+	}
+	b := &Block{Dst: dst, Src: samples}
+	b.SrcPtr = make([]int32, len(dst)+1)
+	var total int32
+	for i, c := range counts {
+		total += c
+		b.SrcPtr[i+1] = total
+	}
+	if int(total) != len(samples) {
+		panic(fmt.Sprintf("sample: %d samples for counts summing to %d", len(samples), total))
+	}
+	// InputNodes: dst first, then unseen src nodes.
+	mark := d.mark
+	b.InputNodes = make([]graph.NodeID, 0, len(dst)+len(samples)/2)
+	b.DstLocal = make([]int32, len(dst))
+	for i, v := range dst {
+		mark[v] = int32(i) + 1
+		b.InputNodes = append(b.InputNodes, v)
+		b.DstLocal[i] = int32(i)
+	}
+	b.SrcLocal = make([]int32, len(samples))
+	for i, v := range samples {
+		li := mark[v]
+		if li == 0 {
+			li = int32(len(b.InputNodes)) + 1
+			mark[v] = li
+			b.InputNodes = append(b.InputNodes, v)
+		}
+		b.SrcLocal[i] = li - 1
+	}
+	// Reset only the touched entries so the table is clean for the next
+	// block at O(unique) cost.
+	for _, v := range b.InputNodes {
+		mark[v] = 0
+	}
+	return b
+}
+
 // BuildBlock assembles a block from per-destination sample lists and
 // computes the unique input-node set and local index mappings.
 func BuildBlock(dst []graph.NodeID, counts []int32, samples []graph.NodeID) *Block {
@@ -181,15 +237,21 @@ func (c Config) Layers() int { return len(c.Fanout) }
 // flat and compressed graphs sample identically when their adjacency lists
 // agree (compressed lists are canonically sorted; see graph.Sorted).
 func Reference(g graph.Topology, seeds []graph.NodeID, cfg Config, batchSeed uint64) *MiniBatch {
+	return ReferenceInto(nil, g, seeds, cfg, batchSeed)
+}
+
+// ReferenceInto is Reference with a reusable Deduper (nil falls back to the
+// map-based block builder) so hot callers skip per-block map churn.
+func ReferenceInto(d *Deduper, g graph.Topology, seeds []graph.NodeID, cfg Config, batchSeed uint64) *MiniBatch {
 	mb := &MiniBatch{Seeds: seeds, Seed: batchSeed}
 	dst := seeds
 	blocks := make([]*Block, 0, cfg.Layers())
 	for l := 0; l < cfg.Layers(); l++ {
 		var block *Block
 		if cfg.LayerWise {
-			block = sampleLayerWise(g, dst, l, cfg, batchSeed)
+			block = sampleLayerWise(d, g, dst, l, cfg, batchSeed)
 		} else {
-			block = sampleNodeWise(g, dst, l, cfg, batchSeed)
+			block = sampleNodeWise(d, g, dst, l, cfg, batchSeed)
 		}
 		blocks = append(blocks, block)
 		dst = block.InputNodes
@@ -202,7 +264,15 @@ func Reference(g graph.Topology, seeds []graph.NodeID, cfg Config, batchSeed uin
 	return mb
 }
 
-func sampleNodeWise(g graph.Topology, dst []graph.NodeID, layer int, cfg Config, batchSeed uint64) *Block {
+// buildWith dispatches to the reusable Deduper when one is supplied.
+func buildWith(d *Deduper, dst []graph.NodeID, counts []int32, samples []graph.NodeID) *Block {
+	if d != nil {
+		return d.BuildBlock(dst, counts, samples)
+	}
+	return BuildBlock(dst, counts, samples)
+}
+
+func sampleNodeWise(d *Deduper, g graph.Topology, dst []graph.NodeID, layer int, cfg Config, batchSeed uint64) *Block {
 	counts := make([]int32, len(dst))
 	var samples []graph.NodeID
 	fanout := cfg.Fanout[layer]
@@ -211,7 +281,7 @@ func sampleNodeWise(g graph.Topology, dst []graph.NodeID, layer int, cfg Config,
 		samples = DrawNode(g, v, layer, fanout, cfg, batchSeed, samples)
 		counts[i] = int32(len(samples) - before)
 	}
-	return BuildBlock(dst, counts, samples)
+	return buildWith(d, dst, counts, samples)
 }
 
 // DrawNode draws the neighbour sample for one (node, layer) on a full-graph
@@ -242,7 +312,7 @@ func DrawAdj(adj []graph.NodeID, weights []float32, globalID graph.NodeID, layer
 // sampleLayerWise implements Eq. (2): split the layer budget across the
 // frontier proportionally to neighbour weight mass, then node-wise sample
 // the assigned counts.
-func sampleLayerWise(g graph.Topology, dst []graph.NodeID, layer int, cfg Config, batchSeed uint64) *Block {
+func sampleLayerWise(d *Deduper, g graph.Topology, dst []graph.NodeID, layer int, cfg Config, batchSeed uint64) *Block {
 	masses := make([]float64, len(dst))
 	for i, v := range dst {
 		masses[i] = g.WeightSum(v)
@@ -270,5 +340,5 @@ func sampleLayerWise(g graph.Topology, dst []graph.NodeID, layer int, cfg Config
 		samples = DrawNode(g, v, layer, perNode[i], cfg, batchSeed, samples)
 		counts[i] = int32(len(samples) - before)
 	}
-	return BuildBlock(dst, counts, samples)
+	return buildWith(d, dst, counts, samples)
 }

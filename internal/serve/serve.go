@@ -106,6 +106,10 @@ type Config struct {
 	// predictions; false charges nominal kernel costs only.
 	RealCompute bool
 	Seed        uint64
+	// Parallel is the OS-thread budget for offloaded data work between DES
+	// commit points (sim.SetParallelism); results are bitwise identical at
+	// any value. Ignored when Engine is set (the engine owner configures it).
+	Parallel int
 
 	// Duration is the virtual-time horizon of the arrival process.
 	Duration sim.Time
@@ -405,6 +409,7 @@ func NewServer(cfg Config) (*Server, error) {
 		s.m = hw.NewMachineOn(cfg.Engine, n, cfg.GPU, cfg.CPU, cfg.LatencyScale)
 	} else {
 		s.m = hw.NewMachineScaled(n, cfg.GPU, cfg.CPU, cfg.LatencyScale)
+		s.m.Eng.SetParallelism(cfg.Parallel)
 	}
 	s.tenants = NewTenantTable(cfg.Tenants)
 	if cfg.SLO > 0 {

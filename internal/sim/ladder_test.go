@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the old container/heap implementation, kept in tests as the
+// ordering oracle for the ladder queue.
+type refHeap []timer
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(timer)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TestLadderMatchesHeap drives the ladder queue and the heap with the same
+// random push/pop schedule under the DES invariant (a push deadline is never
+// before the last popped deadline) and requires identical pop sequences.
+func TestLadderMatchesHeap(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var lq timerQueue
+		var rh refHeap
+		var seq uint64
+		var now Time
+		pops := 0
+		for op := 0; op < 4000; op++ {
+			if lq.Len() != rh.Len() {
+				t.Fatalf("trial %d: length mismatch %d vs %d", trial, lq.Len(), rh.Len())
+			}
+			if lq.Len() == 0 || rng.Intn(3) != 0 {
+				seq++
+				var d Time
+				switch rng.Intn(4) {
+				case 0:
+					d = 0 // same-instant wakeups are the common case
+				case 1:
+					d = Time(rng.Float64()) * 1e-6
+				case 2:
+					d = Time(rng.Float64())
+				case 3:
+					d = Time(rng.Float64()) * 1e3 // far future
+				}
+				tm := timer{at: now + d, seq: seq}
+				lq.Push(tm)
+				heap.Push(&rh, tm)
+				continue
+			}
+			got := lq.Pop()
+			want := heap.Pop(&rh).(timer)
+			if got != want {
+				t.Fatalf("trial %d pop %d: got (at=%v seq=%d) want (at=%v seq=%d)",
+					trial, pops, got.at, got.seq, want.at, want.seq)
+			}
+			now = got.at
+			pops++
+		}
+		// Drain both completely.
+		for rh.Len() > 0 {
+			got := lq.Pop()
+			want := heap.Pop(&rh).(timer)
+			if got != want {
+				t.Fatalf("trial %d drain: got (at=%v seq=%d) want (at=%v seq=%d)",
+					trial, got.at, got.seq, want.at, want.seq)
+			}
+			now = got.at
+		}
+		if lq.Len() != 0 {
+			t.Fatalf("trial %d: ladder not empty after drain", trial)
+		}
+	}
+}
+
+// TestLadderCoincidentDeadlines exercises the all-equal-deadline spread path.
+func TestLadderCoincidentDeadlines(t *testing.T) {
+	var lq timerQueue
+	for i := 0; i < 100; i++ {
+		lq.Push(timer{at: 5, seq: uint64(i + 1)})
+	}
+	for i := 0; i < 100; i++ {
+		got := lq.Pop()
+		if got.seq != uint64(i+1) {
+			t.Fatalf("pop %d: seq %d", i, got.seq)
+		}
+	}
+}

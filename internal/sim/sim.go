@@ -18,7 +18,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -37,13 +36,15 @@ type Engine struct {
 	now     Time
 	seq     uint64 // monotonically increasing scheduling tiebreaker
 	procSeq uint64 // process spawn counter (deterministic teardown order)
-	timers  timerHeap
+	timers  timerQueue
 	ready   []*Proc // FIFO run queue at the current instant
 	live    int     // processes started and not yet finished
 	liveND  int     // live non-daemon processes
 	parked  map[*Proc]string
 	yield   chan yieldKind
-	intr    error // pending interrupt; Run tears down and returns it
+	intr    error         // pending interrupt; Run tears down and returns it
+	par     int           // data-work OS-thread budget (see parallel.go)
+	parSem  chan struct{} // worker-slot semaphore shared by all groups
 }
 
 type yieldKind int
@@ -180,7 +181,7 @@ func (p *Proc) Sleep(d Time) {
 	}
 	e := p.eng
 	e.seq++
-	heap.Push(&e.timers, timer{at: e.now + d, seq: e.seq, p: p, gen: p.gen})
+	e.timers.Push(timer{at: e.now + d, seq: e.seq, p: p, gen: p.gen})
 	p.park(fmt.Sprintf("sleep until %g", float64(e.now+d)))
 }
 
@@ -220,7 +221,7 @@ func (e *Engine) Run() (Time, error) {
 		if e.timers.Len() == 0 {
 			break
 		}
-		t := heap.Pop(&e.timers).(timer)
+		t := e.timers.Pop()
 		if t.gen != t.p.gen {
 			// The process was resumed by another source (e.g. the event half
 			// of WaitTimeout) after this timer was registered. Discard the
@@ -231,7 +232,7 @@ func (e *Engine) Run() (Time, error) {
 			// Only daemon work remains: stop here without advancing to the
 			// daemon's wakeup time. The timer stays registered so the next
 			// Run call (same engine, more work spawned) resumes it.
-			heap.Push(&e.timers, t)
+			e.timers.Push(t)
 			break
 		}
 		if t.at > e.now {
@@ -302,7 +303,7 @@ func (e *Engine) parkedByID() []*Proc {
 // one process may ready others (deferred releases admit waiters); those run
 // next, so FIFO admissions stay consistent during shutdown.
 func (e *Engine) teardown() {
-	e.timers = nil
+	e.timers.clear()
 	for e.live > 0 {
 		var p *Proc
 		if len(e.ready) > 0 {
@@ -330,25 +331,6 @@ type timer struct {
 	seq uint64
 	p   *Proc
 	gen uint64 // p.gen at registration; stale if p resumed since
-}
-
-type timerHeap []timer
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }
 
 // Event is a one-shot synchronisation point. Processes Wait on it; a Trigger
@@ -418,7 +400,7 @@ func (ev *Event) WaitTimeout(p *Proc, d Time) bool {
 	}
 	e := p.eng
 	e.seq++
-	heap.Push(&e.timers, timer{at: e.now + d, seq: e.seq, p: p, gen: p.gen})
+	e.timers.Push(timer{at: e.now + d, seq: e.seq, p: p, gen: p.gen})
 	ev.waiters = append(ev.waiters, eventWaiter{p, p.gen})
 	p.park(fmt.Sprintf("event or timeout at %g", float64(e.now+d)))
 	return ev.fired
@@ -528,35 +510,46 @@ func (r *Resource) Use(p *Proc, n int, service Time) {
 // InUse returns the number of units currently held.
 func (r *Resource) InUse() int { return r.inUse }
 
-// Queue is a bounded FIFO of arbitrary items with virtual-time blocking
-// semantics: Put parks while full, Get parks while empty. It implements the
+// QueueOf is a bounded FIFO of T with virtual-time blocking semantics: Put
+// parks while full, Get parks while empty. It implements the
 // producer-consumer queues of the training pipeline.
-type Queue struct {
+type QueueOf[T any] struct {
 	eng      *Engine
 	capacity int
-	items    []interface{}
+	items    []T
 	closed   bool
 	getters  []*Proc
 	putters  []*Proc
 }
 
-// NewQueue creates a queue with the given capacity (must be positive).
-func (e *Engine) NewQueue(capacity int) *Queue {
+// Queue is the untyped queue (items of type any), kept as the name existing
+// callers use; NewQueue constructs it.
+type Queue = QueueOf[any]
+
+// NewQueueOf creates a typed queue with the given capacity (must be
+// positive).
+func NewQueueOf[T any](e *Engine, capacity int) *QueueOf[T] {
 	if capacity <= 0 {
 		panic("sim: queue capacity must be positive")
 	}
-	return &Queue{eng: e, capacity: capacity}
+	return &QueueOf[T]{eng: e, capacity: capacity}
+}
+
+// NewQueue creates an untyped queue with the given capacity (must be
+// positive).
+func (e *Engine) NewQueue(capacity int) *Queue {
+	return NewQueueOf[any](e, capacity)
 }
 
 // Len returns the number of buffered items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *QueueOf[T]) Len() int { return len(q.items) }
 
 // Cap returns the queue capacity.
-func (q *Queue) Cap() int { return q.capacity }
+func (q *QueueOf[T]) Cap() int { return q.capacity }
 
 // Put appends v, parking while the queue is full. Put on a closed queue
 // panics (a pipeline bug).
-func (q *Queue) Put(p *Proc, v interface{}) {
+func (q *QueueOf[T]) Put(p *Proc, v T) {
 	for len(q.items) >= q.capacity {
 		q.putters = append(q.putters, p)
 		p.park("queue full")
@@ -570,13 +563,14 @@ func (q *Queue) Put(p *Proc, v interface{}) {
 
 // Get removes and returns the oldest item, parking while empty. ok is false
 // if the queue is closed and drained.
-func (q *Queue) Get(p *Proc) (v interface{}, ok bool) {
+func (q *QueueOf[T]) Get(p *Proc) (v T, ok bool) {
 	for len(q.items) == 0 && !q.closed {
 		q.getters = append(q.getters, p)
 		p.park("queue empty")
 	}
 	if len(q.items) == 0 {
-		return nil, false
+		var zero T
+		return zero, false
 	}
 	v = q.items[0]
 	q.items = q.items[1:]
@@ -586,7 +580,7 @@ func (q *Queue) Get(p *Proc) (v interface{}, ok bool) {
 
 // Close marks the queue as finished; blocked and future Gets drain remaining
 // items and then return ok=false.
-func (q *Queue) Close() {
+func (q *QueueOf[T]) Close() {
 	if q.closed {
 		return
 	}
@@ -594,14 +588,14 @@ func (q *Queue) Close() {
 	q.wakeGetters()
 }
 
-func (q *Queue) wakeGetters() {
+func (q *QueueOf[T]) wakeGetters() {
 	for _, g := range q.getters {
 		q.eng.makeReady(g)
 	}
 	q.getters = nil
 }
 
-func (q *Queue) wakePutters() {
+func (q *QueueOf[T]) wakePutters() {
 	for _, w := range q.putters {
 		q.eng.makeReady(w)
 	}

@@ -3,6 +3,7 @@ package strategy
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/cache"
 	"repro/internal/comm"
 	"repro/internal/hw"
@@ -27,6 +28,18 @@ type DSP struct {
 	// zeros backs loader reply payloads (transfer timing without copying
 	// real rows twice).
 	zeros []float32
+	// pool recycles gather staging buffers (RealCompute feature assembly);
+	// par offloads their fill between DES commit points.
+	pool arena.Pool
+	par  *sim.ParallelGroup
+}
+
+// group lazily binds the strategy to the engine's parallel budget.
+func (s *DSP) group() *sim.ParallelGroup {
+	if s.par == nil {
+		s.par = s.M.Eng.NewParallelGroup()
+	}
+	return s.par
 }
 
 // NewDSP assembles the DSP strategy over an already-built substrate.
@@ -56,6 +69,15 @@ func (s *DSP) Load(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *comm.Communi
 	d := s.Opts.Data
 	dev := s.M.GPUs[rank]
 	ids := mb.InputNodes()
+	// Stage the real feature gather on a worker thread so it overlaps the
+	// virtual-time NVLink/UVA choreography below; the buffer is pooled and
+	// recycled by Train once the step has consumed it.
+	var feats []float32
+	var gather *sim.Ticket
+	if s.Opts.RealCompute {
+		feats = s.pool.Get(len(ids) * d.FeatDim)
+		gather = s.group().Submit(func() { train.GatherFeaturesInto(feats, d, mb) })
+	}
 	// The manager's Split records row hotness for the epoch-boundary
 	// rebalancer and re-routes dead-holder rows to the host tier.
 	local, remote, host := s.Cache.Split(ids, rank)
@@ -112,16 +134,16 @@ func (s *DSP) Load(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *comm.Communi
 	uvaDone.Wait(p)
 	// Assemble the contiguous input-feature buffer.
 	dev.RunKernel(p, hw.KernelGather, int64(len(ids))*int64(d.RowBytes()))
-	var feats []float32
-	if s.Opts.RealCompute {
-		feats = train.GatherFeatures(d, mb)
-	}
+	gather.Join()
 	return Loaded{MB: mb, Feats: feats}
 }
 
 // Train implements ExecutionStrategy: the standard data-parallel step.
 func (s *DSP) Train(p *sim.Proc, rank int, l Loaded, st *train.EpochStats) {
 	s.Trainer.Step(p, s.M.GPUs[rank], rank, l.MB, l.Feats, st)
+	if l.Feats != nil {
+		s.pool.Put(l.Feats) // the step has consumed the staged gather
+	}
 }
 
 // Section implements ExecutionStrategy. DSP reports through the existing

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"repro/internal/arena"
 	"repro/internal/comm"
 	"repro/internal/compress"
 	"repro/internal/featstore"
@@ -41,6 +42,17 @@ type P3 struct {
 
 	// zeros backs the activation payloads (timing without real copies).
 	zeros []float32
+	// pool recycles gather staging buffers; par offloads their fill.
+	pool arena.Pool
+	par  *sim.ParallelGroup
+}
+
+// group lazily binds the strategy to the engine's parallel budget.
+func (s *P3) group() *sim.ParallelGroup {
+	if s.par == nil {
+		s.par = s.M.Eng.NewParallelGroup()
+	}
+	return s.par
 }
 
 // NewP3 assembles the P3 strategy over a DimSliced store.
@@ -140,6 +152,14 @@ func P3Forward(p *sim.Proc, m *hw.Machine, c *comm.Communicator, rank int, fs *f
 // DSP's feature gather would be.
 func (s *P3) Load(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *comm.Communicator) Loaded {
 	ids := mb.InputNodes()
+	// Stage the real feature gather on a worker thread so it overlaps the
+	// virtual-time push/partial/reduce choreography of the first layer.
+	var feats []float32
+	var gather *sim.Ticket
+	if s.Opts.RealCompute {
+		feats = s.pool.Get(len(ids) * s.Opts.Data.FeatDim)
+		gather = s.group().Submit(func() { train.GatherFeaturesInto(feats, s.Opts.Data, mb) })
+	}
 	fst := P3Forward(p, s.M, lc, rank, s.Store, s.Opts.Model.Arch, s.hidden0(), s.Opts.FeatCodec, ids, s.zeroAct)
 	s.pushWire += fst.PushWire
 	s.partialFlops += fst.PartialFlops
@@ -147,10 +167,7 @@ func (s *P3) Load(p *sim.Proc, rank int, mb *sample.MiniBatch, lc *comm.Communic
 	if lc.N > 1 {
 		s.traceCounter(s.M.GPUs[rank], "p3 push", s.pushWire)
 	}
-	var feats []float32
-	if s.Opts.RealCompute {
-		feats = train.GatherFeatures(s.Opts.Data, mb)
-	}
+	gather.Join()
 	return Loaded{MB: mb, Feats: feats}
 }
 
@@ -205,6 +222,9 @@ func (s *P3) Train(p *sim.Proc, rank int, l Loaded, st *train.EpochStats) {
 			st.Correct += correct
 			st.Seen += len(mb.Seeds)
 		}
+		if l.Feats != nil {
+			s.pool.Put(l.Feats) // the step has consumed the staged gather
+		}
 		m.GradVector(t.Grad[rank])
 		t.Comm.AllReduceSum(p, rank, t.Grad[rank], gradOpts)
 		inv := float32(1.0) / float32(t.Comm.N)
@@ -219,6 +239,7 @@ func (s *P3) Train(p *sim.Proc, rank int, l Loaded, st *train.EpochStats) {
 		dev.RunKernel(p, hw.KernelGather, nn.NominalAggBytes(s.Opts.Model, mb))
 		dev.RunKernel(p, hw.KernelCompute, s.residualFlops(mb))
 	}
+	gradOpts.Static = true // cost-only never writes Grad; encode is reusable
 	t.Comm.AllReduceSum(p, rank, t.Grad[rank], gradOpts)
 }
 

@@ -225,5 +225,9 @@ func (t *Trainer) Step(p *sim.Proc, dev *hw.Device, rank int, mb *sample.MiniBat
 		dev.RunKernel(p, hw.KernelGather, nn.NominalAggBytes(t.Opts.Model, mb))
 		dev.RunKernel(p, hw.KernelCompute, nn.NominalFlops(t.Opts.Model, mb))
 	}
-	t.Comm.AllReduceSum(p, rank, t.Grad[rank], comm.Compressed(t.Opts.GradCodec, hw.TrafficGradient))
+	// The cost-only path never writes Grad (it stays all-zero), so the
+	// communicator may reuse its cached encode round over round.
+	o := comm.Compressed(t.Opts.GradCodec, hw.TrafficGradient)
+	o.Static = true
+	t.Comm.AllReduceSum(p, rank, t.Grad[rank], o)
 }

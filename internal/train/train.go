@@ -283,6 +283,11 @@ type Options struct {
 	// push-pull layout (internal/strategy). A plain string so this package
 	// stays below internal/strategy in the import graph; core validates it.
 	Strategy string
+	// Parallel is the OS-thread budget for offloaded data work (sampling
+	// draws, codec encodes, reductions) between DES commit points
+	// (sim.SetParallelism). Results are bitwise identical at any value;
+	// <=1 runs everything inline on the engine thread.
+	Parallel int
 }
 
 // EffectiveStageOverhead resolves the per-stage host cost after scaling.
@@ -352,7 +357,18 @@ func (o Options) Validate() error {
 // (the real data work behind the loader).
 func GatherFeatures(d *Data, mb *sample.MiniBatch) []float32 {
 	inputs := mb.InputNodes()
-	out := make([]float32, len(inputs)*d.FeatDim)
+	return GatherFeaturesInto(make([]float32, len(inputs)*d.FeatDim), d, mb)
+}
+
+// GatherFeaturesInto is GatherFeatures into a caller-owned buffer of exactly
+// len(mb.InputNodes())*FeatDim elements (e.g. an arena-pooled one); every
+// element is overwritten. It is pure data work, safe to offload on a
+// sim.Ticket.
+func GatherFeaturesInto(out []float32, d *Data, mb *sample.MiniBatch) []float32 {
+	inputs := mb.InputNodes()
+	if len(out) != len(inputs)*d.FeatDim {
+		panic(fmt.Sprintf("train: gather buffer %d for %d rows x %d dims", len(out), len(inputs), d.FeatDim))
+	}
 	for i, v := range inputs {
 		copy(out[i*d.FeatDim:(i+1)*d.FeatDim], d.Feats[int(v)*d.FeatDim:(int(v)+1)*d.FeatDim])
 	}
@@ -380,12 +396,13 @@ func Evaluate(d *Data, m *nn.Model, cfg sample.Config, maxNodes int, seed uint64
 	}
 	correct := 0
 	const chunk = 512
+	dedup := sample.NewDeduper(d.G.NumNodes())
 	for lo := 0; lo < len(val); lo += chunk {
 		hi := lo + chunk
 		if hi > len(val) {
 			hi = len(val)
 		}
-		mb := sample.Reference(d.G, val[lo:hi], cfg, rng.Mix(seed, 0xE7A1, uint64(lo)))
+		mb := sample.ReferenceInto(dedup, d.G, val[lo:hi], cfg, rng.Mix(seed, 0xE7A1, uint64(lo)))
 		feats := GatherFeatures(d, mb)
 		labels := SeedLabels(d, mb)
 		_, c := m.Evaluate(mb, feats, labels)

@@ -29,6 +29,7 @@ func main() {
 		report  = flag.String("report", "", "run the canonical perf workload and write its run report JSON here")
 		par     = flag.Int("parallel", 1, "OS threads for offloaded simulator data work (results are bitwise identical at any value)")
 		asJSON  = flag.Bool("json", false, "emit result tables as JSON objects instead of aligned text")
+		tele    = flag.Bool("telemetry", false, "attach the telemetry hub to serving sweeps and fail if the burn-rate alert engine fires on a healthy baseline row")
 	)
 	flag.Parse()
 
@@ -38,7 +39,7 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.RunConfig{Shrink: *shrink, Warmup: *warmup, Measure: *measure, Parallel: *par, JSON: *asJSON}
+	cfg := bench.RunConfig{Shrink: *shrink, Warmup: *warmup, Measure: *measure, Parallel: *par, JSON: *asJSON, Telemetry: *tele}
 	if *report != "" {
 		r, err := bench.PerfReport(cfg)
 		if err != nil {

@@ -1,0 +1,79 @@
+// Command dspmon renders the telemetry documents the -telemetry flag of
+// dspserve and dsptrain writes (dsp-telemetry/1 JSON): ASCII sparkline
+// dashboards for terminals and Prometheus text exposition for scrapers.
+//
+// Usage:
+//
+//	dspmon render telemetry.json        # sparkline dashboard
+//	dspmon prom telemetry.json          # Prometheus text format on stdout
+//	dspmon alerts telemetry.json        # alert/rule summary only
+//
+// Exit status: 0 when no burn-rate alert fired during the run, 1 when any
+// did — so a CI job can gate on `dspmon render f.json` directly.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	doc, err := telemetry.ReadDocFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspmon: %v\n", err)
+		os.Exit(2)
+	}
+	if err := doc.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "dspmon: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	switch cmd {
+	case "render":
+		err = doc.Render(os.Stdout)
+	case "prom":
+		err = doc.WriteProm(os.Stdout)
+	case "alerts":
+		err = renderAlerts(doc)
+	default:
+		fmt.Fprintf(os.Stderr, "dspmon: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspmon: %v\n", err)
+		os.Exit(2)
+	}
+	if len(doc.Alerts) > 0 {
+		fmt.Fprintf(os.Stderr, "dspmon: %d alert(s) fired\n", len(doc.Alerts))
+		os.Exit(1)
+	}
+}
+
+func renderAlerts(doc *telemetry.Doc) error {
+	for _, r := range doc.Rules {
+		fmt.Printf("rule %-8s short=%.3gs long=%.3gs burn>%.3g fired=%d\n",
+			r.Name, r.Short, r.Long, r.Burn, r.Fired)
+	}
+	for _, a := range doc.Alerts {
+		fmt.Printf("alert %-8s [%.4gs, %.4gs] peak burn %.3g\n",
+			a.Rule, a.Start, a.End, a.Peak)
+	}
+	if len(doc.Alerts) == 0 {
+		fmt.Println("no alerts fired")
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dspmon render <telemetry.json>   sparkline dashboard (exit 1 if alerts fired)
+  dspmon prom <telemetry.json>     Prometheus text exposition format
+  dspmon alerts <telemetry.json>   rule and alert summary`)
+}

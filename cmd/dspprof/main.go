@@ -189,12 +189,36 @@ func cmdSummary(args []string) error {
 				fmt.Println()
 			}
 			for _, e := range f.Scale {
-				fmt.Printf("  scale %.4gs %s fleet%d (p99 %.4gms)\n", e.At, e.Action, e.Fleet, 1e3*e.P99)
+				if e.Reason != "" {
+					fmt.Printf("  scale %.4gs %s fleet%d (%s, p99 %.4gms)\n", e.At, e.Action, e.Fleet, e.Reason, 1e3*e.P99)
+				} else {
+					fmt.Printf("  scale %.4gs %s fleet%d (p99 %.4gms)\n", e.At, e.Action, e.Fleet, 1e3*e.P99)
+				}
 			}
 		}
 		if r.Faults != nil {
 			fmt.Printf("faults: %d recoveries, mean MTTR %.4gms\n",
 				len(r.Faults.Recoveries), 1e3*r.Faults.MeanMTTR)
+		}
+		if t := r.Telemetry; t != nil {
+			fmt.Printf("telemetry: %d series, %d scrapes @ %.4gms cadence, %d samples retained",
+				t.Series, t.Scrapes, 1e3*t.Interval, t.Samples)
+			if t.Dropped > 0 {
+				fmt.Printf(" (%d dropped)", t.Dropped)
+			}
+			fmt.Println()
+			if t.Requests > 0 || t.Shed > 0 {
+				fmt.Printf("telemetry: %d requests observed, %d shed, bad fraction %.4g, %d exemplars\n",
+					t.Requests, t.Shed, t.BadFraction, t.Exemplars)
+			}
+			for _, ru := range t.Rules {
+				fmt.Printf("  rule %-8s burn>%.3g over %.3gs/%.3gs windows  fired %d\n",
+					ru.Name, ru.Burn, ru.Short, ru.Long, ru.Fired)
+			}
+			for _, a := range t.Alerts {
+				fmt.Printf("  alert %-8s [%.4gs, %.4gs] peak burn %.3g\n",
+					a.Rule, a.Start, a.End, a.Peak)
+			}
 		}
 	}
 	if p == nil {
@@ -282,18 +306,45 @@ func cmdCriticalPath(args []string) error {
 func cmdTop(args []string) error {
 	fs := flag.NewFlagSet("top", flag.ContinueOnError)
 	n := fs.Int("n", 20, "rows to print")
+	cat := fs.String("cat", "", "only spans in this category (e.g. kernel, comm, serve)")
+	pid := fs.Int("pid", -1, "only spans on this process lane / GPU id (raw traces only)")
 	path, err := one(args, fs)
 	if err != nil {
 		return err
 	}
-	p, _, err := load(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	if p == nil {
-		return fmt.Errorf("no profile section in %s", path)
+	var rows []prof.SpanAgg
+	if prof.IsReportJSON(data) {
+		if *pid >= 0 {
+			return fmt.Errorf("top -pid requires a raw trace (a report's span table is aggregated across lanes)")
+		}
+		r, err := prof.ParseReport(data)
+		if err != nil {
+			return err
+		}
+		if r.Profile == nil {
+			return fmt.Errorf("no profile section in %s", path)
+		}
+		rows = r.Profile.TopSpans
+		if *cat != "" {
+			kept := rows[:0:0]
+			for _, a := range rows {
+				if a.Cat == *cat {
+					kept = append(kept, a)
+				}
+			}
+			rows = kept
+		}
+	} else {
+		t, err := prof.ParseTrace(data)
+		if err != nil {
+			return err
+		}
+		rows = prof.FilteredTopSpans(t, *cat, *pid, 0)
 	}
-	rows := p.TopSpans
 	if *n > 0 && len(rows) > *n {
 		rows = rows[:*n]
 	}
@@ -342,6 +393,10 @@ func cmdValidate(args []string) error {
 	}
 	fmt.Printf("%s: valid %s report (%s on %s, wall time %.6gs)\n",
 		path, r.Schema, r.Command, r.Dataset, r.WallTime)
+	if r.Profile != nil && r.Profile.DroppedEvents > 0 {
+		fmt.Printf("warning: trace ring dropped %d events; span aggregates undercount the run (raise -trace-max-events)\n",
+			r.Profile.DroppedEvents)
+	}
 	return nil
 }
 

@@ -68,6 +68,7 @@ func main() {
 	common := cliopts.Register(flag.CommandLine)
 	fleetOpts := cliopts.RegisterFleet(flag.CommandLine)
 	graphOpts := cliopts.RegisterGraph(flag.CommandLine)
+	teleOpts := cliopts.RegisterTelemetry(flag.CommandLine)
 	flag.Parse()
 
 	var td *train.Data
@@ -206,6 +207,9 @@ func main() {
 		fmt.Printf("graph storage: %s\n", desc)
 	}
 
+	hub := teleOpts.Hub(fleetOpts.SLO())
+	cfg.Telemetry = hub
+
 	if fleetMode {
 		if *traceTo != "" {
 			fmt.Fprintf(os.Stderr, "dspserve: -trace is not supported with a fleet router (per-request spans would interleave %d replicas)\n", built)
@@ -230,10 +234,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(rep)
-		if err := common.WriteReport(rep.RunReport(serve.ReportMeta{
+		doc, err := teleOpts.Finish(hub, rep.Makespan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(1)
+		}
+		meta := serve.ReportMeta{
 			Dataset: td.Name, GPUs: built * *gpus, Seed: *seed,
 			Shrink: reportShrink(*dataIn, *shrink),
-		})); err != nil {
+		}
+		if doc != nil {
+			meta.Telemetry = doc.Section()
+		}
+		if err := common.WriteReport(rep.RunReport(meta)); err != nil {
 			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
 			os.Exit(1)
 		}
@@ -244,6 +257,7 @@ func main() {
 	// in-memory trace even when -trace was not requested.
 	if *traceTo != "" || common.ReportPath() != "" {
 		cfg.Tracer = trace.New()
+		cfg.Tracer.SetMaxEvents(common.TraceMaxEvents())
 	}
 
 	fmt.Printf("serving %s on %d GPUs: %s batching, %.0f req/s for %.2fs...\n",
@@ -255,10 +269,19 @@ func main() {
 	}
 	fmt.Println(rep)
 
-	if err := common.WriteReport(rep.RunReport(serve.ReportMeta{
+	doc, err := teleOpts.Finish(hub, rep.Makespan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+		os.Exit(1)
+	}
+	meta := serve.ReportMeta{
 		Dataset: td.Name, GPUs: *gpus, Seed: *seed,
 		Shrink: reportShrink(*dataIn, *shrink), Tracer: cfg.Tracer,
-	})); err != nil {
+	}
+	if doc != nil {
+		meta.Telemetry = doc.Section()
+	}
+	if err := common.WriteReport(rep.RunReport(meta)); err != nil {
 		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
 		os.Exit(1)
 	}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/store"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
@@ -65,6 +66,7 @@ func main() {
 	common := cliopts.Register(flag.CommandLine)
 	common.RegisterGrad(flag.CommandLine)
 	graphOpts := cliopts.RegisterGraph(flag.CommandLine)
+	teleOpts := cliopts.RegisterTelemetry(flag.CommandLine)
 	flag.Parse()
 
 	var td *train.Data
@@ -181,7 +183,24 @@ func main() {
 	var tracer *trace.Tracer
 	if *traceTo != "" || common.ReportPath() != "" {
 		tracer = trace.New()
+		tracer.SetMaxEvents(common.TraceMaxEvents())
 		sys.Machine().SetTracer(tracer)
+	}
+
+	hub := teleOpts.Hub(0)
+	if hub.Enabled() {
+		if ftMode {
+			// The fault-tolerant driver rebuilds a fresh engine per recovery
+			// attempt; the hub's scraper daemon would die with the first one.
+			fmt.Fprintf(os.Stderr, "dsptrain: -telemetry is incompatible with -faults/-ckpt-every/-ckpt-file\n")
+			os.Exit(2)
+		}
+		at, ok := sys.(interface{ AttachTelemetry(*telemetry.Hub) })
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dsptrain: -telemetry requires -system dsp or dsp-seq\n")
+			os.Exit(2)
+		}
+		at.AttachTelemetry(hub)
 	}
 	if *loadFm != "" {
 		ck, err := nn.LoadFile(*loadFm)
@@ -307,14 +326,23 @@ func main() {
 		}
 		fmt.Printf("saved model checkpoint to %s\n", *saveTo)
 	}
-	if err := common.WriteReport(train.BuildRunReport(train.ReportInput{
+	doc, err := teleOpts.Finish(hub, sys.Machine().Eng.Now())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
+		os.Exit(1)
+	}
+	in := train.ReportInput{
 		Command: "dsptrain", System: sys.Name(), Dataset: td.Name,
 		GPUs: *gpus, Seed: *seed, Shrink: reportShrink(*dataIn, *shrink),
 		CachePolicy: opts.DynamicCache,
 		Epochs:      allStats, ValAcc: valAccs,
 		Tracer: tracer, Compression: compressionOf(sys),
 		Store: oocStatsOf(sys), Strategy: strategySectionOf(sys),
-	})); err != nil {
+	}
+	if doc != nil {
+		in.Telemetry = doc.Section()
+	}
+	if err := common.WriteReport(train.BuildRunReport(in)); err != nil {
 		fmt.Fprintf(os.Stderr, "dsptrain: %v\n", err)
 		os.Exit(1)
 	}

@@ -47,6 +47,10 @@ type RunConfig struct {
 	// JSON switches table output from aligned text to one JSON object per
 	// table (machine-readable sweep results).
 	JSON bool
+	// Telemetry attaches a telemetry hub to the serving sweeps and asserts
+	// the burn-rate alert engine stays silent on the healthy baseline
+	// configurations (a fired alert fails the sweep).
+	Telemetry bool
 }
 
 // DefaultConfig is the benchmark-scale configuration.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/train"
 )
 
@@ -36,9 +37,30 @@ func ServeLoad(cfg RunConfig) (*Table, error) {
 	td := prepared("products", 4, cfg.Shrink, false, true)
 	for _, mode := range serveModes {
 		for i, rate := range serveLoads {
-			rep, err := serve.Serve(serveConfig(td, mode, rate))
+			scfg := serveConfig(td, mode, rate)
+			var hub *telemetry.Hub
+			if cfg.Telemetry {
+				// Fresh hub per run: each Serve builds its own engine and
+				// the hub's series registry is single-use.
+				hub = telemetry.New(telemetry.Config{})
+				scfg.Telemetry = hub
+			}
+			rep, err := serve.Serve(scfg)
 			if err != nil {
 				return nil, err
+			}
+			if hub.Enabled() {
+				doc := hub.Finish(rep.Makespan)
+				if err := doc.Validate(); err != nil {
+					return nil, fmt.Errorf("bench: telemetry (%s @ %.0f req/s): %w", mode, rate, err)
+				}
+				// The healthy baseline — dynamic batching below saturation —
+				// must not burn its error budget; rows past the capacity
+				// knee legitimately shed and fire.
+				if mode == serve.BatchDynamic && rate <= 4000 && len(doc.Alerts) > 0 {
+					return nil, fmt.Errorf("bench: burn-rate alert fired on healthy baseline (%s @ %.0f req/s): %d alert(s)",
+						mode, rate, len(doc.Alerts))
+				}
 			}
 			t.Set(mode.String()+" p99", cols[i], 1e3*rep.Latency.P99())
 			t.Set(mode.String()+" shed%", cols[i], 100*rep.ShedRate())
@@ -47,6 +69,10 @@ func ServeLoad(cfg RunConfig) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"p99 in virtual ms over a 0.5 s arrival window; shed% is the fraction rejected by admission control",
 		"dynamic flushes on max-batch or max-wait; batch=1 dispatches every request alone; fixed waits for a full batch")
+	if cfg.Telemetry {
+		t.Notes = append(t.Notes,
+			"telemetry attached: burn-rate alerts verified silent on the sub-saturation dynamic-batching rows")
+	}
 	return t, nil
 }
 

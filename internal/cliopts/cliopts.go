@@ -18,20 +18,22 @@ import (
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 )
 
 // Common holds the flag values shared by every binary that drives the
 // simulated fleet. Construct it with Register; read the resolved values
 // through the accessor methods after flag.Parse.
 type Common struct {
-	faults       *string
-	cachePolicy  *string
-	cacheBudget  *int64
-	compressFeat *string
-	compressGrad *string
-	report       *string
-	strategy     *string
-	parallel     *int
+	faults        *string
+	cachePolicy   *string
+	cacheBudget   *int64
+	compressFeat  *string
+	compressGrad  *string
+	report        *string
+	strategy      *string
+	parallel      *int
+	traceMaxEvent *int
 }
 
 // Register installs the shared flags on fs and returns the bound Common.
@@ -51,7 +53,17 @@ func Register(fs *flag.FlagSet) *Common {
 		"execution strategy: dsp (paper layout: partitioned features, hot/cold gather) or p3 (dimension-partitioned features, push-pull layer 1)")
 	c.parallel = fs.Int("parallel", 1,
 		"OS threads for offloaded simulator data work (sampling draws, codec encodes, reductions); results are bitwise identical at any value")
+	c.traceMaxEvent = fs.Int("trace-max-events", 0,
+		"cap the in-memory trace buffer at this many events, dropping the oldest (0 = unbounded)")
 	return c
+}
+
+// TraceMaxEvents returns the -trace-max-events ring cap (0 = unbounded).
+func (c *Common) TraceMaxEvents() int {
+	if *c.traceMaxEvent < 0 {
+		return 0
+	}
+	return *c.traceMaxEvent
 }
 
 // Parallel returns the -parallel thread budget (minimum 1).
@@ -243,6 +255,73 @@ func (f *Fleet) FleetMode() bool {
 // per-fleet GPU count.
 func (c *Common) FleetFaultSchedule(nFleet, gpusPer int) ([]fault.FleetFault, error) {
 	return fault.ParseFleetSpec(*c.faults, nFleet, gpusPer)
+}
+
+// Telemetry holds the -telemetry flag group shared by dsptrain and
+// dspserve: the virtual-time scraper, per-request span accounting and the
+// SLO burn-rate alert engine (internal/telemetry).
+type Telemetry struct {
+	enabled  *bool
+	out      *string
+	interval *float64
+	ring     *int
+	target   *float64
+}
+
+// RegisterTelemetry installs the -telemetry flag group on fs.
+func RegisterTelemetry(fs *flag.FlagSet) *Telemetry {
+	t := &Telemetry{}
+	t.enabled = fs.Bool("telemetry", false,
+		"enable the live telemetry hub: virtual-time metric scraping, per-request stage spans and SLO burn-rate alerting")
+	t.out = fs.String("telemetry-out", "",
+		"write the "+telemetry.DocSchema+" JSON document to this file (implies -telemetry; render with dspmon)")
+	t.interval = fs.Float64("telemetry-interval", 0,
+		"scrape cadence in virtual seconds (0 = default 2ms)")
+	t.ring = fs.Int("telemetry-ring", 0,
+		"per-series ring capacity; older samples are dropped (0 = default 2048)")
+	t.target = fs.Float64("slo-target", 0,
+		"availability target whose error budget the burn-rate alerts consume, e.g. 0.99 (0 = default 0.99)")
+	return t
+}
+
+// Enabled reports whether any telemetry flag turned the hub on.
+func (t *Telemetry) Enabled() bool { return *t.enabled || *t.out != "" }
+
+// OutPath returns the -telemetry-out destination (may be empty).
+func (t *Telemetry) OutPath() string { return *t.out }
+
+// Hub builds the configured hub, or nil when telemetry is off. slo is the
+// run's latency objective (the -slo flag for serving; seconds).
+func (t *Telemetry) Hub(slo sim.Time) *telemetry.Hub {
+	if !t.Enabled() {
+		return nil
+	}
+	return telemetry.New(telemetry.Config{
+		Interval: sim.Time(*t.interval),
+		RingCap:  *t.ring,
+		SLO:      slo,
+		Target:   *t.target,
+	})
+}
+
+// Finish closes the hub at virtual time end, validates the document,
+// writes it when -telemetry-out was given, and returns it (nil when
+// telemetry is off).
+func (t *Telemetry) Finish(h *telemetry.Hub, end sim.Time) (*telemetry.Doc, error) {
+	if !h.Enabled() {
+		return nil, nil
+	}
+	doc := h.Finish(end)
+	if err := doc.Validate(); err != nil {
+		return nil, fmt.Errorf("cliopts: telemetry document invalid: %w", err)
+	}
+	if *t.out != "" {
+		if err := doc.WriteFile(*t.out); err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote telemetry to %s\n", *t.out)
+	}
+	return doc, nil
 }
 
 // ReportPath returns the -report destination (empty = no report requested).

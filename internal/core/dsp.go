@@ -33,6 +33,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
@@ -271,6 +272,44 @@ func (s *DSP) StrategySection() *prof.StrategySection { return s.strat.Section()
 
 // Machine implements train.System.
 func (s *DSP) Machine() *hw.Machine { return s.m }
+
+// AttachTelemetry registers the trainer's scrape sources on the hub and
+// starts its scraper daemon on this instance's engine: per-GPU busy
+// fractions, per-class wire bytes, cache-tier hit rate and out-of-core
+// residency. Call before the first epoch; the scraper daemon survives
+// each epoch's Run-to-quiescence, so one hub spans a multi-epoch loop.
+func (s *DSP) AttachTelemetry(h *telemetry.Hub) {
+	if !h.Enabled() {
+		return
+	}
+	for g := range s.m.GPUs {
+		dev := s.m.GPUs[g]
+		h.Rate(fmt.Sprintf("gpu%d/busy", g), func(now sim.Time) float64 {
+			return float64(dev.BusyAt(now))
+		})
+	}
+	ctr := &s.m.Fabric.Counters
+	h.Counter("wire/sample_bytes", func(sim.Time) float64 {
+		return float64(ctr.TotalWire(hw.TrafficSample))
+	})
+	h.Counter("wire/feature_bytes", func(sim.Time) float64 {
+		return float64(ctr.TotalWire(hw.TrafficFeature))
+	})
+	h.Counter("wire/gradient_bytes", func(sim.Time) float64 {
+		return float64(ctr.TotalWire(hw.TrafficGradient))
+	})
+	if s.strat == nil || s.strat.Kind() != strategy.KindP3 {
+		h.Gauge("cache/hit_rate", func(sim.Time) float64 {
+			return s.cacheMgr.Stats().Tiers.HitRate()
+		})
+	}
+	if s.hostStore != nil {
+		h.Gauge("store/resident_bytes", func(sim.Time) float64 {
+			return float64(s.hostStore.Stats().ResidentBytes)
+		})
+	}
+	h.Start(s.m.Eng)
+}
 
 // Model implements train.System.
 func (s *DSP) Model() *nn.Model {

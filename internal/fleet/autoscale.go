@@ -82,9 +82,16 @@ type ScaleEvent struct {
 	// P99 is the window p99 that triggered the action (seconds; 0 for the
 	// drain→standby transition, which is emptiness- not latency-driven).
 	P99 sim.Time
+	// Reason is "burn-rate" when a firing page alert forced the action
+	// ahead of the p99 bands; empty for band-driven actions.
+	Reason string
 }
 
 func (e ScaleEvent) String() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("%.3fs %s fleet%d (%s, window p99 %.3fms)",
+			float64(e.At), e.Action, e.Fleet, e.Reason, 1e3*float64(e.P99))
+	}
 	return fmt.Sprintf("%.3fs %s fleet%d (window p99 %.3fms)",
 		float64(e.At), e.Action, e.Fleet, 1e3*float64(e.P99))
 }
@@ -100,14 +107,26 @@ func (r *Router) autoscaler(p *sim.Proc) {
 	for {
 		p.Sleep(as.Period)
 		p99 := r.windowP99()
+		// A firing page-severity burn-rate alert overrides the p99 bands:
+		// it forces a scale-up even when the completion window looks fine
+		// (sheds burn the error budget without completing), and it vetoes
+		// drains until the budget stops burning.
+		burning := r.hub().PageFiring()
 		switch {
+		case burning && r.countState(Active) < as.Max:
+			if f := r.firstState(Standby); f >= 0 {
+				r.state[f] = Active
+				r.scale = append(r.scale, ScaleEvent{
+					At: p.Now(), Action: "up", Fleet: f, P99: p99, Reason: "burn-rate",
+				})
+			}
 		case p99 > sim.Time(0) && p99 > as.Up && r.countState(Active) < as.Max:
 			// Saturated: bring one standby fleet into rotation.
 			if f := r.firstState(Standby); f >= 0 {
 				r.state[f] = Active
 				r.scale = append(r.scale, ScaleEvent{At: p.Now(), Action: "up", Fleet: f, P99: p99})
 			}
-		case p99 > sim.Time(0) && p99 < as.Down && r.countState(Active) > as.Min:
+		case p99 > sim.Time(0) && p99 < as.Down && !burning && r.countState(Active) > as.Min:
 			// Comfortably under SLO: drain the highest-id active fleet.
 			if f := r.lastState(Active); f >= 0 {
 				r.state[f] = Draining

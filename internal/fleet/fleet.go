@@ -20,6 +20,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config describes one routed serving run. Serve is the per-fleet template:
@@ -101,6 +102,10 @@ type Router struct {
 	scale     []ScaleEvent
 }
 
+// hub is the shared telemetry hub from the serve template (nil disables all
+// instrumentation; every hub method is nil-safe).
+func (r *Router) hub() *telemetry.Hub { return r.cfg.Serve.Telemetry }
+
 // NewRouter builds the shared engine, all replicas (External mode, derived
 // seeds, scoped fault schedules) and the router state.
 func NewRouter(cfg Config) (*Router, error) {
@@ -157,6 +162,19 @@ func NewRouter(cfg Config) (*Router, error) {
 		r.workload.EnableDrift(cfg.Serve.DriftEvery, rng.Mix(cfg.Serve.Seed, 0xD21F7))
 	}
 	r.tenants = serve.NewTenantTable(cfg.Serve.Tenants)
+	if hub := r.hub(); hub.Enabled() {
+		// Router-level sources on top of each replica's own series (the
+		// replicas registered theirs under fleetN/ prefixes in NewServer).
+		hub.Gauge("router/active_fleets", func(sim.Time) float64 {
+			return float64(r.countState(Active))
+		})
+		hub.Counter("router/shed", func(sim.Time) float64 {
+			return float64(r.shed)
+		})
+		hub.Counter("router/rerouted", func(sim.Time) float64 {
+			return float64(r.rerouted)
+		})
+	}
 	return r, nil
 }
 
@@ -223,12 +241,23 @@ func (r *Router) generate(p *sim.Proc) {
 		r.arrived++
 		if r.tenants != nil && !r.tenants.TakeToken(tenant, p.Now()) {
 			r.shed++
+			r.hub().ObserveShed(p.Now())
 			r.quotaRej++
 			r.tenants.Reject(tenant)
 			continue
 		}
 		f := r.route(node)
-		if f < 0 || !r.servers[f].Admit(p.Now(), r.nextID, node, tenant) {
+		if f < 0 {
+			// No routable fleet: the router sheds before any server sees the
+			// request (a server-side Admit failure feeds the hub itself).
+			r.shed++
+			r.hub().ObserveShed(p.Now())
+			if r.tenants != nil {
+				r.tenants.Reject(tenant)
+			}
+			continue
+		}
+		if !r.servers[f].Admit(p.Now(), r.nextID, node, tenant) {
 			r.shed++
 			if r.tenants != nil {
 				r.tenants.Reject(tenant)
@@ -255,6 +284,8 @@ func (r *Router) killFleet(p *sim.Proc, f int) {
 	}
 	r.state[f] = Dead
 	r.view.Kill(f)
+	r.hub().RecordEvent(p.Now(), "router/fleet-killed",
+		fmt.Sprintf("fleet%d crashed; rescuing admission-queued requests", f))
 	orphans := r.servers[f].Shutdown(p)
 	for _, o := range orphans {
 		t := r.route(o.Node)
@@ -266,5 +297,8 @@ func (r *Router) killFleet(p *sim.Proc, f int) {
 		}
 		// No survivor can take it: it dies with the fleet.
 		r.shed++
+		if t < 0 {
+			r.hub().ObserveShed(p.Now())
+		}
 	}
 }

@@ -255,6 +255,7 @@ func (r *Report) RunReport(meta serve.ReportMeta) *prof.RunReport {
 	for _, e := range r.Scale {
 		fs.Scale = append(fs.Scale, prof.ScaleEventReport{
 			At: float64(e.At), Action: e.Action, Fleet: e.Fleet, P99: float64(e.P99),
+			Reason: e.Reason,
 		})
 	}
 	out.Fleet = fs

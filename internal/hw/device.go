@@ -57,6 +57,16 @@ func (d *Device) BusyTime() sim.Time {
 	return d.busyTotal
 }
 
+// BusyAt returns the busy time accumulated up to now, safe to call while
+// kernels are resident: the telemetry scraper reads it mid-run to derive
+// per-interval busy fractions.
+func (d *Device) BusyAt(now sim.Time) sim.Time {
+	if d.active > 0 {
+		return d.busyTotal + (now - d.busySince)
+	}
+	return d.busyTotal
+}
+
 // ResetBusy zeroes the busy-time accumulator (for measurement windows that
 // exclude warm-up).
 func (d *Device) ResetBusy() {

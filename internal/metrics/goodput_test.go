@@ -75,6 +75,88 @@ func TestGoodputMergeLossless(t *testing.T) {
 	}
 }
 
+// TestGoodputWindowEdges pins the bucketing rule at exact window
+// boundaries: completion at k*window lands in window k (lower-inclusive,
+// upper-exclusive buckets). Window width 0.25 is exactly representable
+// in binary so k*window divides without float fuzz.
+func TestGoodputWindowEdges(t *testing.T) {
+	g := NewGoodput(0.25, 1e-2)
+	g.Observe(0, 1e-3)    // edge of window 0
+	g.Observe(0.25, 1e-3) // exactly on the 0/1 boundary → window 1
+	g.Observe(0.5, 1e-3)  // exactly on the 1/2 boundary → window 2
+	if g.Span() != 0.75 {
+		t.Fatalf("span %g != 0.75: boundary observations mis-bucketed", g.Span())
+	}
+	// Each of windows 0, 1, 2 holds exactly one in-SLO completion, so the
+	// worst window matches the average: 1 good per 0.25 s.
+	if w, r := g.WorstWindowRate(), g.Rate(); w != 4 || r != 4 {
+		t.Fatalf("worst %g rate %g, want 4 and 4", w, r)
+	}
+	// Negative completion times clamp into window 0 rather than going to
+	// a negative bucket index.
+	g.Observe(-1, 1e-3)
+	if g.Span() != 0.75 {
+		t.Fatalf("span %g after negative-time observe, want unchanged 0.75", g.Span())
+	}
+}
+
+func TestGoodputZeroWindowPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		window, slo float64
+	}{
+		{"zero window", 0, 1e-2},
+		{"negative window", -0.1, 1e-2},
+		{"zero slo", 0.1, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: NewGoodput did not panic", tc.name)
+				}
+			}()
+			NewGoodput(tc.window, tc.slo)
+		})
+	}
+}
+
+// TestGoodputMergeMisaligned merges two counters whose observed window
+// ranges neither overlap nor touch: the merged span must cover the hull
+// including the interior windows nobody observed, and those empty
+// interior windows must drag the worst-window rate to zero.
+func TestGoodputMergeMisaligned(t *testing.T) {
+	a := NewGoodput(0.25, 1e-2)
+	a.Observe(0.1, 1e-3) // window 0
+	a.Observe(0.3, 1e-3) // window 1
+	b := NewGoodput(0.25, 1e-2)
+	b.Observe(1.3, 1e-3)  // window 5
+	b.Observe(1.8, 20e-3) // window 7, over SLO
+	a.Merge(b)
+	if a.Total() != 4 || a.Good() != 3 {
+		t.Fatalf("merged counts good=%d total=%d, want 3/4", a.Good(), a.Total())
+	}
+	// Hull is windows 0..7 inclusive = 8 * 0.25 s.
+	if a.Span() != 2 {
+		t.Fatalf("merged span %g != 2", a.Span())
+	}
+	if w := a.WorstWindowRate(); w != 0 {
+		t.Fatalf("worst window rate %g != 0: empty interior windows ignored", w)
+	}
+	if r := a.Rate(); r != 1.5 {
+		t.Fatalf("merged rate %g != 1.5 (3 good over 2 s)", r)
+	}
+	// Merging in the other direction (low range into high range) must
+	// extend minW downward too.
+	c := NewGoodput(0.25, 1e-2)
+	c.Observe(1.3, 1e-3)
+	d := NewGoodput(0.25, 1e-2)
+	d.Observe(0.1, 1e-3)
+	c.Merge(d)
+	if c.Span() != 1.5 {
+		t.Fatalf("reverse merge span %g != 1.5 (windows 0..5)", c.Span())
+	}
+}
+
 func TestGoodputMergeMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -54,6 +54,16 @@ func bucketValue(b int) float64 {
 	return math.Pow(growth, float64(b)+0.5)
 }
 
+// BucketOf exposes the log-spaced bucket index for v. The telemetry
+// layer keys its latency exemplars by the same bucket a histogram
+// observation lands in, so a drill-down can be linked back to the
+// distribution that surfaced it.
+func BucketOf(v float64) int { return bucketOf(v) }
+
+// BucketValue is the representative value of bucket b (inverse of
+// BucketOf up to the ~2% bucket width).
+func BucketValue(b int) float64 { return bucketValue(b) }
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	if h.count == 0 || v < h.min {

@@ -40,6 +40,10 @@ type Profile struct {
 	// TopSpans ranks normalised span names by self time (time not covered
 	// by spans nested inside them on the same lane), capped at TopSpanCap.
 	TopSpans []SpanAgg `json:"top_spans,omitempty"`
+	// DroppedEvents counts events the tracer's ring cap (-trace-max-events)
+	// discarded before analysis: when non-zero the profile under-reports the
+	// oldest part of the run, and dspprof validate warns.
+	DroppedEvents int `json:"dropped_events,omitempty"`
 }
 
 // TopSpanCap bounds the TopSpans table stored in a profile.
@@ -111,6 +115,9 @@ func (p *Profile) Validate() error {
 	if p.Window.End < p.Window.Start {
 		return fmt.Errorf("prof: profile window inverted [%g, %g]", p.Window.Start, p.Window.End)
 	}
+	if p.DroppedEvents < 0 {
+		return fmt.Errorf("prof: negative dropped-events count %d", p.DroppedEvents)
+	}
 	if len(p.CriticalPath) == 0 {
 		return nil
 	}
@@ -136,7 +143,7 @@ const usec = 1e-6 // trace timestamps are microseconds; profiles report seconds
 func Analyze(t *Trace) *Profile {
 	spans := t.Spans()
 	if len(spans) == 0 {
-		return &Profile{Stalls: StallReport{ByLane: map[string]float64{}}}
+		return &Profile{Stalls: StallReport{ByLane: map[string]float64{}}, DroppedEvents: t.Dropped}
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, e := range spans {
@@ -173,7 +180,26 @@ func AnalyzeWindow(t *Trace, start, end float64) *Profile {
 	p.PipelineOverlap = pipelineOverlap(spans)
 	p.CommComputeOverlap = commComputeOverlap(spans)
 	p.TopSpans = topSpans(spans, TopSpanCap)
+	p.DroppedEvents = t.Dropped
 	return p
+}
+
+// FilteredTopSpans recomputes the top-span table from a raw trace keeping
+// only spans matching cat (empty matches all) and pid (-1 matches all) —
+// the dspprof top -cat/-pid narrowing. n <= 0 means no cap.
+func FilteredTopSpans(t *Trace, cat string, pid int, n int) []SpanAgg {
+	spans := t.Spans()
+	kept := make([]trace.Event, 0, len(spans))
+	for _, e := range spans {
+		if cat != "" && e.Cat != cat {
+			continue
+		}
+		if pid >= 0 && e.Pid != pid {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	return topSpans(kept, n)
 }
 
 // clipSpans restricts spans to the window (µs bounds), trimming partials.

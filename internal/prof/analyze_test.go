@@ -246,3 +246,51 @@ func TestParseTraceRoundTrip(t *testing.T) {
 type bytesBuffer struct{ b []byte }
 
 func (w *bytesBuffer) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+
+func TestParseTracePreservesDropped(t *testing.T) {
+	tr := trace.New()
+	tr.SetMaxEvents(2)
+	for i := 0; i < 6; i++ {
+		tr.Complete("k", "kernel", 0, trace.LaneKernels, float64(i), float64(i)+0.5, nil)
+	}
+	var buf = &bytesBuffer{}
+	if err := tr.WriteJSON(buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace(buf.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Dropped != 4 {
+		t.Fatalf("parsed dropped %d, want 4", parsed.Dropped)
+	}
+	if p := Analyze(parsed); p.DroppedEvents != 4 {
+		t.Fatalf("profile dropped %d, want 4", p.DroppedEvents)
+	}
+}
+
+func TestFilteredTopSpans(t *testing.T) {
+	tr := trace.New()
+	tr.Complete("a", "kernel", 0, trace.LaneKernels, 0, 10, nil)
+	tr.Complete("b", "kernel", 1, trace.LaneKernels, 0, 20, nil)
+	tr.Complete("c", "nvlink", 0, trace.LaneNVLink, 0, 30, nil)
+	cap := FromTracer(tr)
+	if all := FilteredTopSpans(cap, "", -1, 0); len(all) != 3 {
+		t.Fatalf("unfiltered: %d aggregates, want 3", len(all))
+	}
+	byCat := FilteredTopSpans(cap, "kernel", -1, 0)
+	if len(byCat) != 2 || byCat[0].Name != "b" {
+		t.Fatalf("cat filter: %+v", byCat)
+	}
+	byPid := FilteredTopSpans(cap, "", 0, 0)
+	if len(byPid) != 2 || byPid[0].Name != "c" {
+		t.Fatalf("pid filter: %+v", byPid)
+	}
+	both := FilteredTopSpans(cap, "kernel", 0, 0)
+	if len(both) != 1 || both[0].Name != "a" {
+		t.Fatalf("cat+pid filter: %+v", both)
+	}
+	if capped := FilteredTopSpans(cap, "", -1, 1); len(capped) != 1 {
+		t.Fatalf("n cap ignored: %+v", capped)
+	}
+}

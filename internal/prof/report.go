@@ -74,6 +74,12 @@ type RunReport struct {
 	// routing policy, per-fleet outcomes, and autoscaler events.
 	Fleet *FleetSection `json:"fleet,omitempty"`
 
+	// Telemetry condenses the live telemetry hub of a -telemetry run:
+	// scraper cadence, series/sample counts, the SLO stream, and the
+	// burn-rate rule/alert outcome (the full document lives in the
+	// dsp-telemetry/1 file; this section is the report-level summary).
+	Telemetry *TelemetrySection `json:"telemetry,omitempty"`
+
 	// Profile is the trace-derived pipeline profile (present when the run
 	// traced; -report without -trace still records an in-memory trace).
 	Profile *Profile `json:"profile,omitempty"`
@@ -293,6 +299,48 @@ type ScaleEventReport struct {
 	Action string  `json:"action"` // up | drain | standby
 	Fleet  int     `json:"fleet"`
 	P99    float64 `json:"p99"` // window p99 that triggered the action, seconds
+	// Reason marks actions not explained by the p99 band alone — "burn-rate"
+	// when a firing page alert forced the decision. Empty for classic
+	// SLO-band actions so pre-telemetry reports stay byte-identical.
+	Reason string `json:"reason,omitempty"`
+}
+
+// TelemetrySection summarises a live-telemetry run inside the run report.
+type TelemetrySection struct {
+	// Interval is the scraper cadence (virtual seconds); Scrapes how many
+	// ticks ran; Series how many sources were registered; Samples the
+	// retained ring samples across all series; Dropped the ring-evicted
+	// samples.
+	Interval float64 `json:"interval"`
+	Scrapes  int     `json:"scrapes"`
+	Series   int     `json:"series"`
+	Samples  int     `json:"samples"`
+	Dropped  int     `json:"dropped,omitempty"`
+	// Requests/Shed/BadFraction mirror the SLO stream fed to the burn-rate
+	// engine; Exemplars counts the latency drill-down records kept.
+	Requests    int              `json:"requests"`
+	Shed        int              `json:"shed,omitempty"`
+	BadFraction float64          `json:"bad_fraction"`
+	Exemplars   int              `json:"exemplars,omitempty"`
+	Rules       []TelemetryRule  `json:"rules,omitempty"`
+	Alerts      []TelemetryAlert `json:"alerts,omitempty"`
+}
+
+// TelemetryRule is one burn-rate rule's configuration and outcome.
+type TelemetryRule struct {
+	Name  string  `json:"name"`
+	Short float64 `json:"short"` // seconds
+	Long  float64 `json:"long"`  // seconds
+	Burn  float64 `json:"burn"`  // threshold, multiples of budget rate
+	Fired int     `json:"fired"`
+}
+
+// TelemetryAlert is one closed firing interval.
+type TelemetryAlert struct {
+	Rule  string  `json:"rule"`
+	Start float64 `json:"start"` // seconds
+	End   float64 `json:"end"`   // seconds
+	Peak  float64 `json:"peak"`  // highest burn while firing
 }
 
 // FaultReport summarises fault-tolerance outcomes: recoveries with MTTR and
@@ -438,6 +486,50 @@ func (r *RunReport) Validate() error {
 		}
 		if len(f.PerFleet) != f.Built {
 			return fmt.Errorf("prof: fleet section has %d entries for %d fleets", len(f.PerFleet), f.Built)
+		}
+	}
+	if t := r.Telemetry; t != nil {
+		if t.Interval <= 0 {
+			return fmt.Errorf("prof: telemetry interval %g must be positive", t.Interval)
+		}
+		if t.Scrapes < 0 || t.Series < 0 || t.Samples < 0 || t.Dropped < 0 {
+			return fmt.Errorf("prof: negative telemetry counters (scrapes %d series %d samples %d dropped %d)",
+				t.Scrapes, t.Series, t.Samples, t.Dropped)
+		}
+		if t.Requests < 0 || t.Shed < 0 {
+			return fmt.Errorf("prof: negative telemetry request counts (%d/%d)", t.Requests, t.Shed)
+		}
+		if t.BadFraction < 0 || t.BadFraction > 1 {
+			return fmt.Errorf("prof: telemetry bad_fraction %g outside [0,1]", t.BadFraction)
+		}
+		rules := make(map[string]int, len(t.Rules))
+		for _, ru := range t.Rules {
+			if ru.Short <= 0 || ru.Long <= 0 || ru.Short >= ru.Long {
+				return fmt.Errorf("prof: telemetry rule %q windows %g/%g must satisfy 0 < short < long",
+					ru.Name, ru.Short, ru.Long)
+			}
+			if ru.Burn <= 0 {
+				return fmt.Errorf("prof: telemetry rule %q burn threshold %g must be positive", ru.Name, ru.Burn)
+			}
+			if ru.Fired < 0 {
+				return fmt.Errorf("prof: telemetry rule %q fired %d times", ru.Name, ru.Fired)
+			}
+			rules[ru.Name] = ru.Fired
+		}
+		fired := make(map[string]int)
+		for _, a := range t.Alerts {
+			if _, ok := rules[a.Rule]; !ok {
+				return fmt.Errorf("prof: telemetry alert references unknown rule %q", a.Rule)
+			}
+			if a.Start > a.End {
+				return fmt.Errorf("prof: telemetry alert %q starts at %g after its end %g", a.Rule, a.Start, a.End)
+			}
+			fired[a.Rule]++
+		}
+		for name, want := range rules {
+			if fired[name] != want {
+				return fmt.Errorf("prof: telemetry rule %q lists %d fired, %d alerts present", name, want, fired[name])
+			}
 		}
 	}
 	if p := r.Profile; p != nil {

@@ -19,11 +19,14 @@ type Trace struct {
 	// Pids labels process lanes ("GPU 0"); Lanes labels (pid, tid) threads.
 	Pids  map[int]string
 	Lanes map[[2]int]string
+	// Dropped counts events the tracer's ring cap discarded before this
+	// trace was captured (see trace.Tracer.SetMaxEvents).
+	Dropped int
 }
 
 // FromTracer captures a live tracer's events for analysis.
 func FromTracer(t *trace.Tracer) *Trace {
-	return &Trace{Events: t.Events(), Pids: t.PidNames(), Lanes: t.LaneNames()}
+	return &Trace{Events: t.Events(), Pids: t.PidNames(), Lanes: t.LaneNames(), Dropped: t.Dropped()}
 }
 
 // ParseTrace decodes a Chrome trace-event JSON array (the trace.WriteJSON
@@ -48,7 +51,8 @@ func ParseTrace(data []byte) (*Trace, error) {
 		switch e.Ph {
 		case "M":
 			var meta struct {
-				Name string `json:"name"`
+				Name    string `json:"name"`
+				Dropped int    `json:"dropped"`
 			}
 			if len(e.Args) > 0 {
 				if err := json.Unmarshal(e.Args, &meta); err != nil {
@@ -60,6 +64,8 @@ func ParseTrace(data []byte) (*Trace, error) {
 				t.Pids[e.Pid] = meta.Name
 			case "thread_name":
 				t.Lanes[[2]int{e.Pid, e.Tid}] = meta.Name
+			case "dropped_events":
+				t.Dropped = meta.Dropped
 			}
 		case "X", "i", "C":
 			ev := trace.Event{

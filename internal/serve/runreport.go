@@ -14,6 +14,9 @@ type ReportMeta struct {
 	Shrink  int
 	// Tracer, when enabled, contributes the trace-derived pipeline profile.
 	Tracer *trace.Tracer
+	// Telemetry, when set, embeds the scrape/alert summary produced by
+	// telemetry.Hub.Section after Finish.
+	Telemetry *prof.TelemetrySection
 }
 
 // RunReport renders the serving report into the canonical prof.RunReport
@@ -80,6 +83,7 @@ func (r *Report) RunReport(meta ReportMeta) *prof.RunReport {
 		}
 		out.Faults = fr
 	}
+	out.Telemetry = meta.Telemetry
 	if meta.Tracer.Enabled() {
 		out.Profile = prof.Analyze(prof.FromTracer(meta.Tracer))
 	}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/train"
 )
@@ -203,6 +204,13 @@ type Config struct {
 	// ([#Nodes, F/world] per GPU) and replaces the feature gather with the
 	// first layer's partial-activation push exchange (internal/strategy).
 	Strategy string
+
+	// Telemetry, when set, receives scrape sources (queue depth, per-GPU
+	// busy fractions, cache hit rate, wire bytes), per-request stage spans
+	// and shed/degraded events from this server. A nil hub disables all
+	// instrumentation. Fleet routers share one hub across replicas; the
+	// Name prefix keeps series names distinct.
+	Telemetry *telemetry.Hub
 }
 
 func (c Config) defaults() Config {
@@ -332,6 +340,9 @@ type round struct {
 type execItem struct {
 	rd *round
 	mb *sample.MiniBatch
+	// sampledAt is when the CSP sample round finished — the boundary
+	// between the sample and gather stages of each request's span.
+	sampledAt sim.Time
 }
 
 // Server is a configured single-run serving instance. Build with NewServer,
@@ -511,7 +522,66 @@ func NewServer(cfg Config) (*Server, error) {
 		s.cacheMgr.SetView(s.view)
 		inj.OnCrash(func(p *sim.Proc, f fault.Fault) { s.onCrash(p, f.GPU) })
 	}
+	if s.cfg.Telemetry.Enabled() {
+		s.registerTelemetry(n)
+	}
 	return s, nil
+}
+
+// registerTelemetry registers this server's scrape sources on the hub.
+// Registration happens at build time, before the hub's first scrape, so
+// fleets constructed together (including autoscaler standbys) all appear
+// in the series set even if they start serving later. Closures guard
+// against being sampled before Start wires the run state.
+func (s *Server) registerTelemetry(n int) {
+	h := s.cfg.Telemetry
+	h.Gauge(s.pname("serve/queue_depth"), func(sim.Time) float64 {
+		total := 0
+		for _, q := range s.pending {
+			total += len(q)
+		}
+		return float64(total)
+	})
+	h.Gauge(s.pname("serve/outstanding"), func(sim.Time) float64 {
+		return float64(s.Outstanding())
+	})
+	h.Counter(s.pname("serve/arrived"), func(sim.Time) float64 {
+		return float64(s.arrived)
+	})
+	h.Counter(s.pname("serve/shed"), func(sim.Time) float64 {
+		return float64(s.shed)
+	})
+	h.Counter(s.pname("serve/completed"), func(sim.Time) float64 {
+		return float64(len(s.completed))
+	})
+	for g := 0; g < n; g++ {
+		dev := s.m.GPUs[g]
+		h.Rate(s.pname(fmt.Sprintf("gpu%d/busy", g)), func(now sim.Time) float64 {
+			return float64(dev.BusyAt(now))
+		})
+	}
+	if !s.p3 {
+		h.Gauge(s.pname("cache/hit_rate"), func(sim.Time) float64 {
+			return s.cacheMgr.Stats().Tiers.HitRate()
+		})
+	}
+	ctr := &s.m.Fabric.Counters
+	h.Counter(s.pname("wire/sample_bytes"), func(sim.Time) float64 {
+		return float64(ctr.TotalWire(hw.TrafficSample))
+	})
+	h.Counter(s.pname("wire/feature_bytes"), func(sim.Time) float64 {
+		return float64(ctr.TotalWire(hw.TrafficFeature))
+	})
+	if s.hostStore != nil {
+		h.Gauge(s.pname("store/resident_bytes"), func(sim.Time) float64 {
+			return float64(s.hostStore.Stats().ResidentBytes)
+		})
+	}
+	if s.goodput != nil {
+		h.Gauge(s.pname("serve/goodput"), func(sim.Time) float64 {
+			return s.goodput.Rate()
+		})
+	}
 }
 
 // alive reports whether GPU g still participates in serving.
@@ -529,6 +599,8 @@ func (s *Server) alive(g int) bool {
 func (s *Server) onCrash(p *sim.Proc, g int) {
 	eng := s.m.Eng
 	s.crashes = append(s.crashes, Recovery{GPU: g, At: p.Now()})
+	s.cfg.Telemetry.RecordEvent(p.Now(), s.pname("degraded"),
+		fmt.Sprintf("gpu %d crashed; re-routing to next live GPU", g))
 	if s.sampProcs != nil {
 		eng.Kill(s.sampProcs[g])
 		eng.Kill(s.execProcs[g])
@@ -548,6 +620,7 @@ func (s *Server) onCrash(p *sim.Proc, g int) {
 		for _, r := range s.pending[g] {
 			if len(s.pending[t]) >= s.cfg.QueueDepth {
 				s.shed++
+				s.cfg.Telemetry.ObserveShed(p.Now())
 				continue
 			}
 			r.GPU = t
@@ -636,6 +709,9 @@ func (s *Server) Start() {
 			}
 		})
 	}
+	// Idempotent: in fleet mode every replica shares one hub and the first
+	// Start spawns the scraper daemon.
+	s.cfg.Telemetry.Start(eng)
 }
 
 // Finish validates pipeline completion and builds the report after the
@@ -716,6 +792,7 @@ func (s *Server) Admit(now sim.Time, id int, node graph.NodeID, tenant int) bool
 	g := s.targetGPU(node)
 	if len(s.pending[g]) >= s.cfg.QueueDepth {
 		s.shed++
+		s.cfg.Telemetry.ObserveShed(now)
 		if s.tenants != nil {
 			s.tenants.Reject(tenant)
 		}
@@ -755,6 +832,8 @@ func (s *Server) Shutdown(p *sim.Proc) []*Request {
 	}
 	s.dead = true
 	s.killedAt = p.Now()
+	s.cfg.Telemetry.RecordEvent(p.Now(), s.pname("fleet-killed"),
+		"whole-server crash: workers killed, admitted requests re-routed")
 	eng := s.m.Eng
 	if s.inj != nil {
 		s.inj.Stop()
@@ -818,6 +897,7 @@ func (s *Server) generator(p *sim.Proc) {
 			// Quota rejection: admission control turned the request away
 			// before it reached any queue.
 			s.shed++
+			s.cfg.Telemetry.ObserveShed(p.Now())
 			s.quotaRejected++
 			s.tenants.Reject(tenant)
 			cfg.Tracer.Instant("quota-reject", "serve", n, 0, float64(p.Now()), "t",
@@ -827,6 +907,7 @@ func (s *Server) generator(p *sim.Proc) {
 		g := s.targetGPU(node)
 		if len(s.pending[g]) >= cfg.QueueDepth {
 			s.shed++
+			s.cfg.Telemetry.ObserveShed(p.Now())
 			if s.tenants != nil {
 				s.tenants.Reject(tenant)
 			}
@@ -1025,7 +1106,7 @@ func (s *Server) sampler(p *sim.Proc, g int) {
 				seeds[i] = r.Node
 			}
 			mb := s.world.SampleBatchShared(p, g, seeds, s.cfg.Sample, rd.seed)
-			s.execQ[g].Put(p, &execItem{rd: rd, mb: mb})
+			s.execQ[g].Put(p, &execItem{rd: rd, mb: mb, sampledAt: p.Now()})
 		})
 	}
 }
@@ -1048,6 +1129,7 @@ func (s *Server) executor(p *sim.Proc, g int) {
 		// really crossed the links. The manager's hotness counters likewise
 		// record every attempt inside Split: the accesses are real.
 		var rc cache.Tiers
+		var loaded sim.Time
 		runRound(p, func() {
 			s.execComm.Begin(g)
 			rc = cache.Tiers{}
@@ -1059,6 +1141,7 @@ func (s *Server) executor(p *sim.Proc, g int) {
 			} else {
 				feats = s.loadFeatures(p, g, it.mb, &rc)
 			}
+			loaded = p.Now()
 			preds = s.forward(p, g, it.mb, feats)
 		})
 		s.cacheMgr.Account(g, rc)
@@ -1077,6 +1160,11 @@ func (s *Server) executor(p *sim.Proc, g int) {
 				s.goodput.Observe(float64(now), float64(req.Latency()))
 			}
 			s.completed = append(s.completed, req)
+			s.cfg.Telemetry.ObserveRequest(telemetry.RequestSample{
+				ID: req.ID, GPU: g, Round: it.rd.id,
+				Arrival: req.Arrival, Dispatch: it.rd.start,
+				Sampled: it.sampledAt, Loaded: loaded, Done: now,
+			})
 			if s.cfg.OnComplete != nil {
 				s.cfg.OnComplete(req)
 			}

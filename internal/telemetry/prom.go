@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promName sanitizes a series name into a Prometheus metric name:
+// lower-cased, every non-alphanumeric run collapsed to one underscore,
+// prefixed with dsp_. "fleet0/gpu1/busy" becomes "dsp_fleet0_gpu1_busy".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("dsp_")
+	prevUnderscore := false
+	for _, r := range strings.ToLower(name) {
+		ok := r >= 'a' && r <= 'z' || r >= '0' && r <= '9'
+		if ok {
+			b.WriteRune(r)
+			prevUnderscore = false
+		} else if !prevUnderscore {
+			b.WriteByte('_')
+			prevUnderscore = true
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}
+
+// WriteProm exports the document in Prometheus text exposition format:
+// the final sample of every series (counters get a _total suffix), the
+// request totals, and per-rule firing gauges/counters. Timestamps are
+// omitted — the document is a virtual-time artifact.
+func (d *Doc) WriteProm(w io.Writer) error {
+	p := func(format string, args ...interface{}) {
+		fmt.Fprintf(w, format, args...)
+	}
+	for _, s := range d.Series {
+		name := promName(s.Name)
+		typ := "gauge"
+		if s.Kind == "counter" {
+			name += "_total"
+			typ = "counter"
+		}
+		var last float64
+		if len(s.Values) > 0 {
+			last = s.Values[len(s.Values)-1]
+		}
+		p("# TYPE %s %s\n", name, typ)
+		p("%s %g\n", name, last)
+	}
+	p("# TYPE dsp_requests_total counter\n")
+	p("dsp_requests_total %d\n", d.Requests.Observed)
+	p("# TYPE dsp_requests_good_total counter\n")
+	p("dsp_requests_good_total %d\n", d.Requests.Good)
+	p("# TYPE dsp_requests_bad_total counter\n")
+	p("dsp_requests_bad_total %d\n", d.Requests.Bad)
+	p("# TYPE dsp_requests_shed_total counter\n")
+	p("dsp_requests_shed_total %d\n", d.Requests.Shed)
+	p("# TYPE dsp_request_latency_p99 gauge\n")
+	p("dsp_request_latency_p99 %g\n", d.Requests.Latency.P99)
+	p("# TYPE dsp_alerts_fired_total counter\n")
+	for _, ru := range d.Rules {
+		p("dsp_alerts_fired_total{rule=%q} %d\n", ru.Name, ru.Fired)
+	}
+	return nil
+}

@@ -45,10 +45,18 @@ type Event struct {
 
 // Tracer accumulates events. The simulation is single-threaded, so no
 // locking is needed; a nil *Tracer is safe to call (no-ops).
+//
+// By default the event buffer is unbounded; SetMaxEvents turns it into a
+// ring that keeps the most recent events and counts the overwritten ones
+// (long fleet runs stay within a fixed memory budget at the cost of
+// losing the oldest spans).
 type Tracer struct {
-	events []Event
-	names  map[[2]int]string // (pid, tid) -> lane name
-	pids   map[int]string
+	events  []Event
+	head    int               // next overwrite position once the ring is full (max > 0)
+	max     int               // ring capacity; 0 = unbounded
+	dropped int               // events overwritten by the ring
+	names   map[[2]int]string // (pid, tid) -> lane name
+	pids    map[int]string
 }
 
 // New creates an empty tracer.
@@ -58,6 +66,55 @@ func New() *Tracer {
 
 // Enabled reports whether events are being collected.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetMaxEvents caps the in-memory event buffer at n events (0 restores
+// unbounded growth). When the cap is exceeded the oldest events are
+// overwritten and counted; Dropped exposes the count and WriteJSON
+// records it as a metadata event. If more than n events are already
+// recorded, the oldest are dropped immediately.
+func (t *Tracer) SetMaxEvents(n int) {
+	if t == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.max = n
+	if n > 0 && len(t.events) > n {
+		ordered := t.ordered()
+		t.dropped += len(ordered) - n
+		t.events = ordered[len(ordered)-n:]
+		t.head = 0
+	}
+}
+
+// Dropped returns how many events the ring cap has discarded.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// push appends an event, overwriting the oldest once the ring is full.
+func (t *Tracer) push(e Event) {
+	if t.max > 0 && len(t.events) == t.max {
+		t.events[t.head] = e
+		t.head = (t.head + 1) % t.max
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// ordered returns the retained events in insertion order (unrolls the
+// ring).
+func (t *Tracer) ordered() []Event {
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
+}
 
 // NamePid labels a process lane (e.g. "GPU 3").
 func (t *Tracer) NamePid(pid int, name string) {
@@ -80,7 +137,7 @@ func (t *Tracer) Complete(name, cat string, pid, tid int, start, end float64, ar
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.push(Event{
 		Name: name, Cat: cat, Ph: "X",
 		Ts: start * 1e6, Dur: (end - start) * 1e6,
 		Pid: pid, Tid: tid, Args: args,
@@ -94,7 +151,7 @@ func (t *Tracer) Counter(name string, pid int, ts float64, values map[string]flo
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.push(Event{
 		Name: name, Cat: "counter", Ph: "C",
 		Ts: ts * 1e6, Pid: pid, Values: values,
 	})
@@ -110,7 +167,7 @@ func (t *Tracer) Instant(name, cat string, pid, tid int, ts float64, scope strin
 	if scope == "" {
 		scope = "t"
 	}
-	t.events = append(t.events, Event{
+	t.push(Event{
 		Name: name, Cat: cat, Ph: "i",
 		Ts: ts * 1e6, Pid: pid, Tid: tid, S: scope, Args: args,
 	})
@@ -129,7 +186,7 @@ func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	out := append([]Event(nil), t.events...)
+	out := t.ordered()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
 	return out
 }
@@ -176,6 +233,12 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		all = append(all, map[string]interface{}{
 			"name": "thread_name", "ph": "M", "pid": key[0], "tid": key[1],
 			"args": map[string]string{"name": name},
+		})
+	}
+	if t.dropped > 0 {
+		all = append(all, map[string]interface{}{
+			"name": "dropped_events", "ph": "M", "pid": 0, "tid": 0,
+			"args": map[string]int{"dropped": t.dropped},
 		})
 	}
 	for _, e := range t.Events() {

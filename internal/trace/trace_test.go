@@ -232,3 +232,88 @@ func TestWriteJSONGolden(t *testing.T) {
 		t.Fatal("HTML characters escaped in span name")
 	}
 }
+
+func TestRingCapDropsOldest(t *testing.T) {
+	tr := New()
+	tr.SetMaxEvents(4)
+	for i := 0; i < 10; i++ {
+		tr.Complete("k", "kernel", 0, 1, float64(i), float64(i)+0.5, nil)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len %d != cap 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped %d != 6", tr.Dropped())
+	}
+	ev := tr.Events()
+	if ev[0].Ts != 6e6 || ev[3].Ts != 9e6 {
+		t.Fatalf("ring kept wrong events: first ts %v last ts %v", ev[0].Ts, ev[3].Ts)
+	}
+}
+
+func TestSetMaxEventsTrimsExisting(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Complete("k", "kernel", 0, 1, float64(i), float64(i)+0.5, nil)
+	}
+	tr.SetMaxEvents(3)
+	if tr.Len() != 3 || tr.Dropped() != 7 {
+		t.Fatalf("len %d dropped %d, want 3 and 7", tr.Len(), tr.Dropped())
+	}
+	if ev := tr.Events(); ev[0].Ts != 7e6 {
+		t.Fatalf("trim kept wrong events: first ts %v", ev[0].Ts)
+	}
+	// Further pushes keep overwriting the oldest.
+	tr.Complete("k", "kernel", 0, 1, 10, 10.5, nil)
+	if tr.Len() != 3 || tr.Dropped() != 8 {
+		t.Fatalf("after push: len %d dropped %d, want 3 and 8", tr.Len(), tr.Dropped())
+	}
+	if ev := tr.Events(); ev[2].Ts != 10e6 {
+		t.Fatalf("newest event missing: last ts %v", ev[2].Ts)
+	}
+	// SetMaxEvents(0) restores unbounded growth without losing state.
+	tr.SetMaxEvents(0)
+	tr.Complete("k", "kernel", 0, 1, 11, 11.5, nil)
+	if tr.Len() != 4 || tr.Dropped() != 8 {
+		t.Fatalf("after uncap: len %d dropped %d, want 4 and 8", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestWriteJSONDroppedMetadata(t *testing.T) {
+	tr := New()
+	tr.SetMaxEvents(2)
+	for i := 0; i < 5; i++ {
+		tr.Complete("k", "kernel", 0, 1, float64(i), float64(i)+0.5, nil)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range raw {
+		if e["name"] == "dropped_events" && e["ph"] == "M" {
+			found = true
+			args := e["args"].(map[string]interface{})
+			if d := args["dropped"].(float64); d != 3 {
+				t.Fatalf("dropped metadata %v != 3", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("WriteJSON omitted the dropped_events metadata event")
+	}
+	// An uncapped tracer must not emit the metadata event at all.
+	var clean bytes.Buffer
+	tr2 := New()
+	tr2.Complete("k", "kernel", 0, 1, 0, 1, nil)
+	if err := tr2.WriteJSON(&clean); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "dropped_events") {
+		t.Fatal("uncapped tracer emitted dropped_events metadata")
+	}
+}

@@ -38,6 +38,8 @@ type ReportInput struct {
 	// Strategy is the execution strategy's accounting (nil for the default
 	// DSP strategy, whose reports stay byte-identical pre/post refactor).
 	Strategy *prof.StrategySection
+	// Telemetry is the scrape/alert summary (nil without -telemetry).
+	Telemetry *prof.TelemetrySection
 }
 
 // BuildRunReport renders a training run into the versioned RunReport schema.
@@ -164,6 +166,7 @@ func BuildRunReport(in ReportInput) *prof.RunReport {
 	}
 	r.Store = store.Section(in.Store)
 	r.Strategy = in.Strategy
+	r.Telemetry = in.Telemetry
 	if in.Tracer.Enabled() {
 		r.Profile = prof.Analyze(prof.FromTracer(in.Tracer))
 	}
